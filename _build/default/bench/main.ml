@@ -1,0 +1,202 @@
+(* Benchmark harness: regenerates every table of the paper.
+
+   Tables 2-7 (and the Section 4.3.1 comparison) are simulation
+   experiments, delegated to Mp_sim.Experiments at a reduced,
+   shape-preserving scale (set MPRES_SCALE=standard or =paper to grow).
+
+   Tables 9 and 10 (algorithm execution times) are timing measurements;
+   they are run under Bechamel (one Test.make per algorithm and sweep
+   point, one group per table), and rendered in the paper's layout.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+module Experiments = Mp_sim.Experiments
+module Instance_ = Mp_sim.Instance
+module Scenario = Mp_sim.Scenario
+module Report = Mp_sim.Report
+module Dag_gen = Mp_dag.Dag_gen
+module Algo = Mp_core.Algo
+module Ressched = Mp_core.Ressched
+module Schedule = Mp_cpa.Schedule
+
+let scale =
+  match Sys.getenv_opt "MPRES_SCALE" with
+  | Some s -> (
+      match Experiments.scale_of_string s with
+      | Some sc -> sc
+      | None ->
+          Printf.eprintf "unknown MPRES_SCALE %S; using quick\n%!" s;
+          Experiments.quick)
+  | None -> Experiments.quick
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches (Tables 9 and 10) *)
+
+(* All sweep points share one Grid'5000-style reservation environment and
+   vary only the application DAG, as in the paper's setup (Table 1
+   defaults except the swept parameter); every algorithm is timed on the
+   same instance. *)
+let shared_env =
+  lazy
+    (let app = { Scenario.label = "bench"; params = Dag_gen.default } in
+     match Instance_.grid5000 ~seed:scale.Experiments.seed ~app ~n_dags:1 ~n_cals:1 with
+     | [ inst ] -> inst.env
+     | _ -> assert false)
+
+let instance_of params =
+  let env = Lazy.force shared_env in
+  let rng = Mp_prelude.Rng.create (Hashtbl.hash (scale.Experiments.seed, params)) in
+  (env, Dag_gen.generate rng params)
+
+let sep = '|'
+
+let timed_tests ~table (label, params) =
+  let env, dag = instance_of params in
+  let loose = 2 * Schedule.turnaround (Ressched.schedule env dag) in
+  let res_tests =
+    List.filter_map
+      (fun (a : Algo.ressched) ->
+        if a.name = "BD_HALF" then None (* not a Table 9/10 row *)
+        else
+          Some
+            (Test.make
+               ~name:(Printf.sprintf "%s%c%s" a.name sep label)
+               (Staged.stage (fun () -> ignore (a.run env dag)))))
+      Algo.ressched_main
+  in
+  let dl_tests =
+    List.map
+      (fun (a : Algo.deadline) ->
+        Test.make
+          ~name:(Printf.sprintf "%s%c%s" a.name sep label)
+          (Staged.stage (fun () -> ignore (a.run env dag ~deadline:loose))))
+      Algo.deadline_all
+  in
+  ignore table;
+  res_tests @ dl_tests
+
+let run_group ~name sweeps =
+  let tests = List.concat_map (timed_tests ~table:name) sweeps in
+  let group = Test.make_grouped ~name tests in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] group in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  (* name format: "<group>/<algo>|<label>" -> (algo, label) -> ms *)
+  let table : (string * string, float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun full (res : Analyze.OLS.t) ->
+      match String.index_opt full sep with
+      | None -> ()
+      | Some i ->
+          let prefix = String.sub full 0 i in
+          let algo =
+            match String.rindex_opt prefix '/' with
+            | Some j -> String.sub prefix (j + 1) (String.length prefix - j - 1)
+            | None -> prefix
+          in
+          let label = String.sub full (i + 1) (String.length full - i - 1) in
+          let ms =
+            match Analyze.OLS.estimates res with
+            | Some (ns :: _) -> ns /. 1e6
+            | Some [] | None -> nan
+          in
+          Hashtbl.replace table (algo, label) ms)
+    results;
+  table
+
+let print_timing_table ~title ~labels table =
+  let algos =
+    [
+      "BD_ALL";
+      "BD_CPA";
+      "BD_CPAR";
+      "DL_BD_ALL";
+      "DL_BD_CPA";
+      "DL_BD_CPAR";
+      "DL_RC_CPA";
+      "DL_RC_CPAR";
+      "DL_RC_CPAR-l";
+      "DL_RCBD_CPAR-l";
+    ]
+  in
+  let rows =
+    List.map
+      (fun algo ->
+        algo
+        :: List.map
+             (fun label ->
+               match Hashtbl.find_opt table (algo, label) with
+               | Some ms when not (Float.is_nan ms) -> Printf.sprintf "%.3f" ms
+               | _ -> "-")
+             labels)
+      algos
+  in
+  Report.print ~title ~header:("Algorithm [ms]" :: labels) ~rows
+
+let bench_table9 () =
+  let ns = [ 10; 25; 50; 75; 100 ] in
+  let sweeps = List.map (fun n -> (Printf.sprintf "n=%d" n, { Dag_gen.default with n })) ns in
+  let table = run_group ~name:"table9" sweeps in
+  print_timing_table ~title:"Table 9: execution time [ms] vs task count (Bechamel)"
+    ~labels:(List.map fst sweeps) table
+
+let bench_table10 () =
+  let ds = [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+  let sweeps =
+    List.map (fun d -> (Printf.sprintf "d=%.1f" d, { Dag_gen.default with density = d })) ds
+  in
+  let table = run_group ~name:"table10" sweeps in
+  print_timing_table ~title:"Table 10: execution time [ms] vs edge density (Bechamel)"
+    ~labels:(List.map fst sweeps) table
+
+(* ------------------------------------------------------------------ *)
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n%!" title
+
+let () =
+  Printf.printf "mpres benchmark harness (scale: n_app=%d n_res=%d n_dags=%d n_cals=%d; set MPRES_SCALE to change)\n"
+    scale.n_app scale.n_res scale.n_dags scale.n_cals;
+  section "Table 1 (application parameters are the generator defaults; see DESIGN.md)";
+  Printf.printf "%d application specifications enumerated from Table 1\n" (List.length Scenario.app_specs);
+  section "Table 2";
+  Experiments.print_table2 scale;
+  section "Table 3";
+  Experiments.print_table3 scale;
+  section "Section 4.3.1 (bottom-level methods)";
+  Experiments.print_bl_comparison scale;
+  section "Table 4";
+  Experiments.print_table4 scale;
+  section "Table 5";
+  Experiments.print_table5 scale;
+  section "Table 6";
+  Experiments.print_table6 scale;
+  section "Table 7";
+  Experiments.print_table7 scale;
+  section "Table 8";
+  Experiments.print_table8 ();
+  section "Table 9";
+  bench_table9 ();
+  section "Table 10";
+  bench_table10 ();
+  section "Ablation: allocators";
+  Experiments.print_allocator_ablation scale;
+  section "Ablation: blind scheduling";
+  Experiments.print_blind_ablation scale;
+  section "Ablation: online arrivals";
+  Experiments.print_online_ablation scale;
+  section "Ablation: heterogeneous grid";
+  Experiments.print_hetero_ablation scale;
+  section "Ablation: iCASLB bounds";
+  Experiments.print_icaslb_ablation scale;
+  section "Ablation: reservation impact on batch users";
+  Experiments.print_reservation_impact scale;
+  section "Ablation: CPU-hours vs deadline looseness";
+  Experiments.print_pareto_ablation scale;
+  section "Ablation: pessimistic estimates";
+  Experiments.print_estimate_ablation scale;
+  Printf.printf "\nDone.\n"

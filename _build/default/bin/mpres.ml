@@ -1,0 +1,301 @@
+(* mpres — command-line interface to the mixed-parallel advance-reservation
+   scheduler library.
+
+   Subcommands:
+     gen-dag     draw a random application DAG and print it (dot or edges)
+     gen-log     draw a synthetic workload log and print it as SWF
+     schedule    solve RESSCHED on a random instance and print the schedule
+     deadline    solve RESSCHEDDL (fixed deadline or tightest-deadline search)
+     experiment  regenerate the paper's tables *)
+
+open Cmdliner
+module Rng = Mp_prelude.Rng
+module Dag = Mp_dag.Dag
+module Dag_gen = Mp_dag.Dag_gen
+module Log_model = Mp_workload.Log_model
+module Swf = Mp_workload.Swf
+module Reservation_gen = Mp_workload.Reservation_gen
+module Schedule = Mp_cpa.Schedule
+module Algo = Mp_core.Algo
+module Deadline = Mp_core.Deadline
+module Workflows = Mp_dag.Workflows
+module Experiments = Mp_sim.Experiments
+module Instance = Mp_sim.Instance
+module Scenario = Mp_sim.Scenario
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (deterministic).")
+
+let dag_params_t =
+  let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Number of tasks.") in
+  let alpha = Arg.(value & opt float 0.2 & info [ "alpha" ] ~doc:"Max sequential fraction.") in
+  let width = Arg.(value & opt float 0.5 & info [ "width" ] ~doc:"DAG width parameter.") in
+  let regularity = Arg.(value & opt float 0.5 & info [ "regularity" ] ~doc:"Level regularity.") in
+  let density = Arg.(value & opt float 0.5 & info [ "density" ] ~doc:"Edge density.") in
+  let jump = Arg.(value & opt int 1 & info [ "jump" ] ~doc:"Maximum level jump of edges.") in
+  let make n alpha width regularity density jump =
+    { Dag_gen.n; alpha; width; regularity; density; jump }
+  in
+  Term.(const make $ n $ alpha $ width $ regularity $ density $ jump)
+
+let log_t =
+  let log_conv =
+    Arg.conv
+      ( (fun s ->
+          match Log_model.find s with
+          | Some p -> Ok p
+          | None -> Error (`Msg ("unknown log preset: " ^ s))),
+        fun ppf p -> Format.pp_print_string ppf p.Log_model.name )
+  in
+  Arg.(
+    value
+    & opt log_conv Log_model.sdsc_blue
+    & info [ "log" ] ~docv:"LOG" ~doc:"Workload preset: CTC_SP2, OSC_Cluster, SDSC_BLUE, SDSC_DS.")
+
+let phi_t = Arg.(value & opt float 0.2 & info [ "phi" ] ~doc:"Fraction of jobs tagged as reservations.")
+
+let method_t =
+  let method_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "linear" -> Ok Reservation_gen.Linear
+          | "expo" -> Ok Reservation_gen.Expo
+          | "real" -> Ok Reservation_gen.Real
+          | _ -> Error (`Msg ("unknown method: " ^ s))),
+        fun ppf m -> Format.pp_print_string ppf (Reservation_gen.method_name m) )
+  in
+  Arg.(value & opt method_conv Reservation_gen.Expo & info [ "method" ] ~doc:"Reshaping: linear, expo, real.")
+
+let shape_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:
+          "Use a classic workflow instead of a random DAG: chain, fork-join, fft, strassen, \
+           gaussian, wavefront (sized from -n where applicable).")
+
+let dag_of ~seed ~params shape =
+  let rng = Rng.create seed in
+  match shape with
+  | None -> Mp_dag.Dag_gen.generate rng params
+  | Some s -> (
+      let n = params.Mp_dag.Dag_gen.n in
+      match String.lowercase_ascii s with
+      | "chain" -> Workflows.chain rng ~n:(max 2 n) ()
+      | "fork-join" | "forkjoin" -> Workflows.fork_join rng ~branches:(max 1 (n / 6)) ~stages:5 ()
+      | "fft" -> Workflows.fft rng ~m:(max 1 (min 8 (int_of_float (Float.log2 (float_of_int (max 2 n)))))) ()
+      | "strassen" -> Workflows.strassen rng ~levels:(max 1 (min 4 (n / 12))) ()
+      | "gaussian" -> Workflows.gaussian rng ~n:(max 2 (int_of_float (sqrt (2. *. float_of_int n)))) ()
+      | "wavefront" ->
+          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+          Workflows.wavefront rng ~rows:side ~cols:side ()
+      | other ->
+          Format.eprintf "unknown shape %S@." other;
+          exit 1)
+
+let instance_of ~seed ~params ~log ~phi ~method_ ~shape =
+  let app = { Scenario.label = "cli"; params } in
+  let res = { Scenario.log; phi; method_ } in
+  match Instance.synthetic ~seed ~app ~res ~n_dags:1 ~n_cals:1 with
+  | [ inst ] -> (
+      match shape with None -> inst | Some _ -> { inst with dag = dag_of ~seed ~params shape })
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* gen-dag *)
+
+let gen_dag seed params shape dot =
+  let dag = dag_of ~seed ~params shape in
+  if dot then print_string (Dag.to_dot dag) else Format.printf "%a@." Dag.pp dag
+
+let gen_dag_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz dot instead of a listing.") in
+  Cmd.v
+    (Cmd.info "gen-dag" ~doc:"Draw a random or classic application DAG")
+    Term.(const gen_dag $ seed_t $ dag_params_t $ shape_t $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* gen-log *)
+
+let gen_log seed log days =
+  let jobs = Log_model.generate (Rng.create seed) ~days log in
+  print_string "; SWF generated by mpres gen-log\n";
+  List.iter (fun j -> print_endline (Swf.to_line j)) jobs
+
+let gen_log_cmd =
+  let days = Arg.(value & opt int 60 & info [ "days" ] ~doc:"Log span in days.") in
+  Cmd.v
+    (Cmd.info "gen-log" ~doc:"Draw a synthetic workload log (SWF on stdout)")
+    Term.(const gen_log $ seed_t $ log_t $ days)
+
+(* ------------------------------------------------------------------ *)
+(* schedule *)
+
+let print_schedule ?(gantt = false) ?svg_file ?(json = false) (inst : Instance.t) sched =
+  Format.printf "cluster p=%d, q=%d, competing breakpoints=%d@." inst.env.p inst.env.q
+    (Mp_platform.Calendar.breakpoints inst.env.calendar);
+  Format.printf "%a@." Schedule.pp sched;
+  let competing () =
+    let until = max 1 (Schedule.turnaround sched + 3_600) in
+    Mp_platform.Calendar.busy_rectangles inst.env.calendar ~from_:0 ~until
+  in
+  if gantt then
+    print_string
+      (Mp_cpa.Gantt.ascii ~procs:inst.env.p ~competing:(competing ()) sched);
+  if json then print_endline (Schedule.to_json ~competing:(competing ()) sched);
+  match svg_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Mp_cpa.Gantt.svg ~procs:inst.env.p ~competing:(competing ()) sched));
+      Format.printf "gantt chart written to %s@." path
+
+let schedule seed params log phi method_ shape algo_name gantt svg_file json =
+  match Algo.ressched_find algo_name with
+  | None ->
+      Format.eprintf "unknown algorithm %S (try BD_CPAR or BL_CPAR_BD_CPA)@." algo_name;
+      exit 1
+  | Some algo ->
+      let inst = instance_of ~seed ~params ~log ~phi ~method_ ~shape in
+      let sched = algo.run inst.env inst.dag in
+      (match Schedule.validate inst.dag ~base:inst.env.calendar sched with
+      | Ok () -> ()
+      | Error msg ->
+          Format.eprintf "internal error: invalid schedule: %s@." msg;
+          exit 2);
+      print_schedule ~gantt ?svg_file ~json inst sched
+
+let algo_t =
+  Arg.(value & opt string "BD_CPAR" & info [ "algo" ] ~doc:"RESSCHED algorithm name.")
+
+let gantt_t = Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.")
+
+let svg_t =
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG Gantt chart.")
+
+let json_t = Arg.(value & flag & info [ "json" ] ~doc:"Also print the schedule as JSON.")
+
+let schedule_cmd =
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Solve RESSCHED on a random instance")
+    Term.(
+      const schedule $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ algo_t
+      $ gantt_t $ svg_t $ json_t)
+
+(* ------------------------------------------------------------------ *)
+(* deadline *)
+
+let deadline seed params log phi method_ shape algo_name deadline_s gantt svg_file =
+  match Algo.deadline_find algo_name with
+  | None ->
+      Format.eprintf "unknown deadline algorithm %S (try DL_RCBD_CPAR-l)@." algo_name;
+      exit 1
+  | Some algo -> (
+      let inst = instance_of ~seed ~params ~log ~phi ~method_ ~shape in
+      match deadline_s with
+      | Some k -> (
+          match algo.run inst.env inst.dag ~deadline:k with
+          | Some sched ->
+              Format.printf "deadline %d met.@." k;
+              print_schedule ~gantt ?svg_file inst sched
+          | None ->
+              Format.printf "deadline %d cannot be met by %s.@." k algo_name;
+              exit 3)
+      | None -> (
+          match Deadline.tightest (algo.prepare inst.env inst.dag) inst.env inst.dag with
+          | Some (k, sched) ->
+              Format.printf "tightest deadline: %d s (%.2f h)@." k (float_of_int k /. 3600.);
+              print_schedule ~gantt ?svg_file inst sched
+          | None -> Format.printf "no feasible deadline found.@."))
+
+let deadline_cmd =
+  let dl =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Deadline; omit to search for the tightest one.")
+  in
+  let algo =
+    Arg.(value & opt string "DL_RCBD_CPAR-l" & info [ "algo" ] ~doc:"RESSCHEDDL algorithm name.")
+  in
+  Cmd.v
+    (Cmd.info "deadline" ~doc:"Solve RESSCHEDDL on a random instance")
+    Term.(
+      const deadline $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ algo $ dl
+      $ gantt_t $ svg_t)
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment scale_name table =
+  match Experiments.scale_of_string scale_name with
+  | None ->
+      Format.eprintf "unknown scale %S (quick, standard, paper)@." scale_name;
+      exit 1
+  | Some scale -> (
+      match table with
+      | "all" -> Experiments.run_all scale
+      | "2" -> Experiments.print_table2 scale
+      | "3" -> Experiments.print_table3 scale
+      | "bl" -> Experiments.print_bl_comparison scale
+      | "matrix" -> Experiments.print_bl_bd_matrix scale
+      | "4" -> Experiments.print_table4 scale
+      | "5" -> Experiments.print_table5 scale
+      | "6" -> Experiments.print_table6 scale
+      | "7" -> Experiments.print_table7 scale
+      | "8" -> Experiments.print_table8 ()
+      | "9" -> Experiments.print_table9 scale
+      | "10" -> Experiments.print_table10 scale
+      | "allocators" -> Experiments.print_allocator_ablation scale
+      | "blind" -> Experiments.print_blind_ablation scale
+      | "online" -> Experiments.print_online_ablation scale
+      | "hetero" -> Experiments.print_hetero_ablation scale
+      | "icaslb" -> Experiments.print_icaslb_ablation scale
+      | "impact" -> Experiments.print_reservation_impact scale
+      | "pareto" -> Experiments.print_pareto_ablation scale
+      | "estimates" -> Experiments.print_estimate_ablation scale
+      | other ->
+          Format.eprintf
+            "unknown table %S (2,3,bl,4,5,6,7,8,9,10,allocators,blind,online,hetero,icaslb,impact,pareto,estimates,all)@."
+            other;
+          exit 1)
+
+let experiment_cmd =
+  let scale =
+    Arg.(value & opt string "quick" & info [ "scale" ] ~doc:"Scale: quick, standard, paper.")
+  in
+  let table =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"TABLE"
+          ~doc:"Table id (2..10, bl), ablation name (allocators, blind, online, hetero, estimates), or 'all'.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's tables")
+    Term.(const experiment $ scale $ table)
+
+(* ------------------------------------------------------------------ *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let () =
+  (* --verbose is handled before cmdliner so every subcommand accepts it *)
+  let argv = Array.to_list Sys.argv in
+  let verbose = List.mem "--verbose" argv in
+  setup_logs verbose;
+  let argv = Array.of_list (List.filter (fun a -> a <> "--verbose") argv) in
+  let info = Cmd.info "mpres" ~version:"1.0.0" ~doc:"Mixed-parallel scheduling with advance reservations" in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info [ gen_dag_cmd; gen_log_cmd; schedule_cmd; deadline_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/campaign.ml: Format List Mp_core Mp_cpa Mp_dag Mp_platform Mp_prelude Mp_sim

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Filename Format List Mp_platform Mp_prelude Mp_workload Option String Sys

@@ -1,0 +1,1 @@
+examples/deadline_campaign.ml: Format List Mp_core Mp_cpa Mp_dag Mp_prelude Mp_workload

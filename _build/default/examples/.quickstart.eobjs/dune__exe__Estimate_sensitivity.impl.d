@@ -1,0 +1,1 @@
+examples/estimate_sensitivity.ml: Array Format List Mp_core Mp_cpa Mp_dag Mp_prelude Mp_sim Mp_workload

@@ -1,0 +1,1 @@
+examples/estimate_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Format List Mp_core Mp_cpa Mp_dag Mp_prelude Mp_workload

@@ -1,0 +1,1 @@
+examples/multi_cluster.ml: Array Format List Mp_core Mp_dag Mp_platform Mp_prelude

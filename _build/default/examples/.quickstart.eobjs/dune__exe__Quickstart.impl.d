@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mp_core Mp_cpa Mp_dag Mp_platform

@@ -1,0 +1,1 @@
+examples/workflow_zoo.ml: Format List Mp_core Mp_cpa Mp_dag Mp_platform Mp_prelude

@@ -1,0 +1,57 @@
+(* A morning's worth of workflow submissions on one reserved cluster.
+
+   Each application is scheduled with the paper's BD_CPAR algorithm
+   against the calendar left behind by everyone before it — the natural
+   deployment loop of the paper's single-application scheduler
+   (Mp_sim.Campaign).
+
+   Run with:  dune exec examples/campaign.exe *)
+
+module Rng = Mp_prelude.Rng
+module Dag_gen = Mp_dag.Dag_gen
+module Workflows = Mp_dag.Workflows
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Env = Mp_core.Env
+module Campaign = Mp_sim.Campaign
+module Schedule = Mp_cpa.Schedule
+
+let () =
+  let rng = Rng.create 13 in
+  (* a 64-processor cluster with some pre-existing reservations *)
+  let calendar =
+    Calendar.of_reservations ~procs:64
+      [
+        Reservation.make ~start:7_200 ~finish:21_600 ~procs:24;
+        Reservation.make ~start:43_200 ~finish:86_400 ~procs:64;
+      ]
+  in
+  let env = Env.make ~calendar ~q:40. in
+
+  (* five applications arriving through the morning *)
+  let arrivals =
+    [
+      { Campaign.at = 0; dag = Dag_gen.generate rng { Dag_gen.default with n = 30 } };
+      { Campaign.at = 1_800; dag = Workflows.fft (Rng.split rng) ~m:4 () };
+      { Campaign.at = 3_600; dag = Workflows.gaussian (Rng.split rng) ~n:8 () };
+      { Campaign.at = 7_200; dag = Dag_gen.generate rng { Dag_gen.default with n = 20; width = 0.8 } };
+      { Campaign.at = 10_800; dag = Workflows.wavefront (Rng.split rng) ~rows:5 ~cols:5 () };
+    ]
+  in
+  let c = Campaign.run env arrivals in
+
+  Format.printf "%-4s %10s %14s %11s@." "app" "arrival[h]" "turn-around[h]" "CPU-hours";
+  Format.printf "-------------------------------------------@.";
+  List.iteri
+    (fun i (a : Campaign.app_result) ->
+      Format.printf "%-4d %10.2f %14.2f %11.1f@." (i + 1)
+        (float_of_int a.arrival /. 3600.)
+        (float_of_int a.turnaround /. 3600.)
+        a.cpu_hours)
+    c.apps;
+  Format.printf "@.campaign makespan: %.2f h, total CPU-hours: %.1f@."
+    (float_of_int c.makespan /. 3600.)
+    c.total_cpu_hours;
+  Format.printf "cluster availability over the day after the last arrival: %.1f of %d@."
+    (Calendar.average_available c.final_calendar ~from_:10_800 ~until:(10_800 + 86_400))
+    64

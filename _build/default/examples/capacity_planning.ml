@@ -1,0 +1,81 @@
+(* Capacity planning with the workload substrate.
+
+   A site operator wants to know how advance reservations reshape the
+   availability their users will see.  This example exercises the workload
+   layer directly:
+
+     - generate a synthetic SDSC_DS-like batch log and write/read it as SWF,
+     - run the FCFS+backfill batch simulator,
+     - tag a fraction of jobs as advance reservations,
+     - inspect the availability profile an application scheduler would see
+       (average availability, largest holes, busy series).
+
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+module Rng = Mp_prelude.Rng
+module Stats = Mp_prelude.Stats
+module Calendar = Mp_platform.Calendar
+module Job = Mp_workload.Job
+module Swf = Mp_workload.Swf
+module Log_model = Mp_workload.Log_model
+module Batch_sim = Mp_workload.Batch_sim
+module Reservation_gen = Mp_workload.Reservation_gen
+
+let day = 86_400
+
+let () =
+  let rng = Rng.create 11 in
+  let preset = Log_model.sdsc_ds in
+
+  (* 1. A month of synthetic load, scheduled by FCFS + conservative
+     backfilling. *)
+  let jobs = Log_model.generate rng ~days:30 preset in
+  Format.printf "Generated %d jobs on %d processors (utilization %.1f%%).@." (List.length jobs)
+    preset.cpus
+    (100. *. Batch_sim.utilization ~procs:preset.cpus ~horizon:(30 * day) jobs);
+
+  (* 2. Round-trip through the Standard Workload Format. *)
+  let path = Filename.temp_file "capacity" ".swf" in
+  Swf.save path jobs;
+  let back = Swf.load path in
+  Sys.remove path;
+  Format.printf "SWF round-trip: wrote and re-read %d jobs.@.@." (List.length back);
+
+  (* 3. Queue statistics. *)
+  let waits = List.filter_map (fun j -> Option.map float_of_int (Job.wait j)) jobs in
+  let s = Stats.summarize waits in
+  Format.printf "Queue wait: mean %.1f min, median %.1f min, max %.1f h.@.@." (s.mean /. 60.)
+    (s.median /. 60.) (s.max /. 3600.);
+
+  (* 4. Tag 20%% of the jobs as advance reservations and look at the
+     calendar a user scheduling "now" would face. *)
+  List.iter
+    (fun method_ ->
+      let rng = Rng.create 99 in
+      let at = Reservation_gen.random_instant rng jobs in
+      let tagged = Reservation_gen.tag rng ~phi:0.2 jobs in
+      let rg = Reservation_gen.extract rng method_ ~procs:preset.cpus ~at tagged in
+      let cal = Reservation_gen.calendar rg in
+      let q = Reservation_gen.historical_average rg in
+      let avg_next_day = Calendar.average_available cal ~from_:0 ~until:day in
+      let min_next_day = Calendar.min_available cal ~from_:0 ~until:day in
+      Format.printf
+        "%-6s  future reservations: %3d   historical avg avail: %5.1f   next-24h avail: avg %5.1f min %3d@."
+        (Reservation_gen.method_name method_)
+        (List.length rg.future) q avg_next_day min_next_day)
+    Reservation_gen.all_methods;
+
+  (* 5. The decaying load profile ahead (reserved processors per 12 h). *)
+  let rng = Rng.create 100 in
+  let at = Reservation_gen.random_instant rng jobs in
+  let tagged = Reservation_gen.tag rng ~phi:0.2 jobs in
+  let rg = Reservation_gen.extract rng Reservation_gen.Expo ~procs:preset.cpus ~at tagged in
+  let series =
+    Calendar.busy_series (Reservation_gen.calendar rg) ~from_:0 ~until:(7 * day) ~step:(12 * 3600)
+  in
+  Format.printf "@.Reserved processors over the next 7 days (12 h samples, expo model):@.";
+  List.iteri
+    (fun i v ->
+      let bar = String.make (int_of_float (v /. float_of_int preset.cpus *. 40.)) '#' in
+      Format.printf "  +%3dh %4.0f %s@." (i * 12) v bar)
+    series

@@ -1,0 +1,63 @@
+(* Heterogeneous multi-cluster scheduling (the paper's future-work
+   direction, Section 7, built on the HCPA idea).
+
+   A three-site grid: a small fast cluster, a mid-size one, and a big slow
+   one, each carrying its own advance reservations.  We schedule a
+   mixed-parallel workflow across all three and compare unbounded
+   allocation (HBD_ALL) with CPA-bounded allocation computed against the
+   grid's speed-weighted available capacity (HBD_CPAR).
+
+   Run with:  dune exec examples/multi_cluster.exe *)
+
+module Rng = Mp_prelude.Rng
+module Dag_gen = Mp_dag.Dag_gen
+module Grid = Mp_platform.Grid
+module Reservation = Mp_platform.Reservation
+module Hressched = Mp_core.Hressched
+
+let competing rng n ~procs =
+  let rec go acc cal k =
+    if k = 0 then acc
+    else begin
+      let start = Rng.int rng 86_400 in
+      let dur = 1_800 + Rng.int rng 14_400 in
+      let r = Reservation.make ~start ~finish:(start + dur) ~procs:(1 + Rng.int rng (procs / 2)) in
+      match Mp_platform.Calendar.reserve_opt cal r with
+      | Some cal -> go (r :: acc) cal (k - 1)
+      | None -> go acc cal (k - 1)
+    end
+  in
+  go [] (Mp_platform.Calendar.create ~procs) n
+
+let () =
+  let rng = Rng.create 31 in
+  let grid =
+    Grid.make
+      [
+        ({ Grid.name = "alpha (fast)"; procs = 32; speed = 2.0 }, competing rng 6 ~procs:32);
+        ({ Grid.name = "beta"; procs = 64; speed = 1.0 }, competing rng 10 ~procs:64);
+        ({ Grid.name = "gamma (slow, big)"; procs = 128; speed = 0.5 }, competing rng 12 ~procs:128);
+      ]
+  in
+  Format.printf "%a@." Grid.pp grid;
+  Format.printf "Reference capacity (speed-weighted): %d processor-equivalents@.@."
+    (Grid.reference_procs grid);
+
+  let dag = Dag_gen.generate rng { Dag_gen.default with n = 40 } in
+  Format.printf "Workflow: %d tasks, %d edges@.@." (Mp_dag.Dag.n dag) (Mp_dag.Dag.n_edges dag);
+
+  List.iter
+    (fun bd ->
+      let sched = Hressched.schedule ~bd grid dag in
+      (match Hressched.validate grid dag sched with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      let per_site = Array.make (Grid.n_sites grid) 0 in
+      Array.iter (fun (s : Hressched.slot) -> per_site.(s.site) <- per_site.(s.site) + 1) sched.slots;
+      Format.printf "%-9s turn-around %6.2f h   CPU-hours %7.1f   tasks per site:"
+        (Hressched.bound_name bd)
+        (float_of_int (Hressched.turnaround sched) /. 3600.)
+        (Hressched.cpu_hours sched);
+      Array.iteri (fun i c -> Format.printf " %s=%d" (Grid.site grid i).Grid.name c) per_site;
+      Format.printf "@.")
+    [ Hressched.HBD_ALL; HBD_CPAR ]

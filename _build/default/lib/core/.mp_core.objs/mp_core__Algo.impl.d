@@ -1,0 +1,1 @@
+lib/core/algo.ml: Bottom_level Bound Deadline Env List Mp_cpa Mp_dag Option Ressched String

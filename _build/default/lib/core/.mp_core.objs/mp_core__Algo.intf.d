@@ -1,0 +1,1 @@
+lib/core/algo.mli: Env Mp_cpa Mp_dag

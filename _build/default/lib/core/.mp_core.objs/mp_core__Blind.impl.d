@@ -1,0 +1,1 @@
+lib/core/blind.ml: Array Bottom_level List Mp_cpa Mp_dag Mp_platform

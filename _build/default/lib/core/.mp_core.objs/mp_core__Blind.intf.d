@@ -1,0 +1,1 @@
+lib/core/blind.mli: Bottom_level Mp_cpa Mp_dag Mp_platform

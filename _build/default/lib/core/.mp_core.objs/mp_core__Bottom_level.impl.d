@@ -1,0 +1,1 @@
+lib/core/bottom_level.ml: Array Env Mp_cpa Mp_dag

@@ -1,0 +1,1 @@
+lib/core/bottom_level.mli: Env Mp_dag

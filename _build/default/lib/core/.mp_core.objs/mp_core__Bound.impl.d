@@ -1,0 +1,1 @@
+lib/core/bound.ml: Array Env Mp_cpa Mp_dag

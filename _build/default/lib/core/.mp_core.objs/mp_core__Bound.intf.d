@@ -1,0 +1,1 @@
+lib/core/bound.mli: Env Mp_dag

@@ -1,0 +1,1 @@
+lib/core/deadline.ml: Array Bottom_level Env Float List Mp_cpa Mp_dag Mp_platform

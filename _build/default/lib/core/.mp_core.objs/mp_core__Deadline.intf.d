@@ -1,0 +1,1 @@
+lib/core/deadline.mli: Env Mp_cpa Mp_dag

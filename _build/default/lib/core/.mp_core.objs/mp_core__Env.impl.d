@@ -1,0 +1,1 @@
+lib/core/env.ml: Float Mp_platform

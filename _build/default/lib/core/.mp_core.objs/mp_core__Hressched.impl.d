@@ -1,0 +1,1 @@
+lib/core/hressched.ml: Array Float Format List Mp_cpa Mp_dag Mp_platform Printf

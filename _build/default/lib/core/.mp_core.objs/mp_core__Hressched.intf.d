@@ -1,0 +1,1 @@
+lib/core/hressched.mli: Format Mp_dag Mp_platform

@@ -1,0 +1,1 @@
+lib/core/ressched.ml: Array Bottom_level Bound Env List Mp_cpa Mp_dag Mp_platform

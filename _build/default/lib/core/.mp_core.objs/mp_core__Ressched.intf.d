@@ -1,0 +1,1 @@
+lib/core/ressched.mli: Bottom_level Bound Env Mp_cpa Mp_dag Mp_platform

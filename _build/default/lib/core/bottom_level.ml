@@ -1,0 +1,20 @@
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Analysis = Mp_dag.Analysis
+module Allocation = Mp_cpa.Allocation
+module Mapping = Mp_cpa.Mapping
+
+type method_ = BL_1 | BL_ALL | BL_CPA | BL_CPAR
+
+let all = [ BL_1; BL_ALL; BL_CPA; BL_CPAR ]
+let name = function BL_1 -> "BL_1" | BL_ALL -> "BL_ALL" | BL_CPA -> "BL_CPA" | BL_CPAR -> "BL_CPAR"
+
+let weights m (env : Env.t) dag =
+  match m with
+  | BL_1 -> Array.map (fun tk -> Task.exec_time_f tk 1) (Dag.tasks dag)
+  | BL_ALL -> Array.map (fun tk -> Task.exec_time_f tk env.p) (Dag.tasks dag)
+  | BL_CPA -> Allocation.weights dag ~allocs:(Allocation.allocate ~p:env.p dag)
+  | BL_CPAR -> Allocation.weights dag ~allocs:(Allocation.allocate ~p:env.q dag)
+
+let levels m env dag = Analysis.bottom_levels dag ~weights:(weights m env dag)
+let order m env dag = Mapping.bl_order dag ~weights:(weights m env dag)

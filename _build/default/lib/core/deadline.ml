@@ -1,0 +1,182 @@
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Analysis = Mp_dag.Analysis
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Schedule = Mp_cpa.Schedule
+module Allocation = Mp_cpa.Allocation
+module Mapping = Mp_cpa.Mapping
+
+type aggressive = DL_BD_ALL | DL_BD_CPA | DL_BD_CPAR
+type conservative = DL_RC_CPA | DL_RC_CPAR
+
+let aggressive_name = function
+  | DL_BD_ALL -> "DL_BD_ALL"
+  | DL_BD_CPA -> "DL_BD_CPA"
+  | DL_BD_CPAR -> "DL_BD_CPAR"
+
+let conservative_name = function DL_RC_CPA -> "DL_RC_CPA" | DL_RC_CPAR -> "DL_RC_CPAR"
+
+(* Latest-start placement among the task's distinct-duration processor
+   counts up to a per-task bound: the aggressive move, also used as
+   fallback by the conservative algorithms. *)
+let place_latest cal task ~dl ~bound =
+  (* Candidates by descending processor count (ascending duration): once
+     [dl - dur] falls below the best start found, no remaining (longer)
+     candidate can start later, so the scan stops.  On loose deadlines the
+     very first candidate ends the loop. *)
+  let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
+  let rec go best = function
+    | [] -> best
+    | np :: rest -> (
+        let dur = Task.exec_time task np in
+        match best with
+        | Some (bs, _, _) when dl - dur < bs -> best
+        | _ -> (
+            match Calendar.latest_fit cal ~earliest:0 ~finish_by:dl ~procs:np ~dur with
+            | None -> go best rest
+            | Some s ->
+                let better =
+                  match best with None -> true | Some (bs, _, bnp) -> s > bs || (s = bs && np < bnp)
+                in
+                go (if better then Some (s, s + dur, np) else best) rest))
+  in
+  go None candidates
+
+(* Fewest processors whose earliest feasible start clears [threshold] while
+   still finishing by [dl]. *)
+let place_conservative cal task ~dl ~threshold ~max_np =
+  let threshold = max 0 threshold in
+  let rec try_candidates = function
+    | [] -> None
+    | np :: rest ->
+        let dur = Task.exec_time task np in
+        if threshold + dur > dl then try_candidates rest
+        else begin
+          match Calendar.earliest_fit cal ~after:threshold ~procs:np ~dur with
+          | Some s when s + dur <= dl -> Some (s, s + dur, np)
+          | Some _ | None -> try_candidates rest
+        end
+  in
+  try_candidates (Task.alloc_candidates task ~max_np)
+
+(* Shared backward list-scheduling loop over a precomputed increasing
+   bottom-level order.  [place] decides one task's slot given the current
+   calendar and the task's completion deadline. *)
+let backward ~order (env : Env.t) dag ~deadline ~place =
+  let nb = Dag.n dag in
+  let slots = Array.make nb ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
+  let placed = Array.make nb false in
+  let cal = ref env.calendar in
+  let rec go k =
+    if k < 0 then Some { Schedule.slots }
+    else begin
+      let i = order.(k) in
+      let dl =
+        Array.fold_left
+          (fun acc j -> min acc slots.(j).Schedule.start)
+          deadline (Dag.succs dag i)
+      in
+      match place !cal ~i ~dl ~placed with
+      | None -> None
+      | Some (s, fin, np) ->
+          cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
+          slots.(i) <- { start = s; finish = fin; procs = np };
+          placed.(i) <- true;
+          go (k - 1)
+    end
+  in
+  go (nb - 1)
+
+(* The allocation-dependent data (bottom-level order, CPA allocations for
+   bounds and reference schedules) only depends on (env, dag), never on
+   the deadline; the *_prepared variants compute it once so that deadline
+   sweeps — the λ search and the tightest-deadline binary search — pay for
+   it once instead of per probe. *)
+
+let aggressive_prepared algo (env : Env.t) dag =
+  let order = Bottom_level.order Bottom_level.BL_CPAR env dag in
+  let bounds =
+    match algo with
+    | DL_BD_ALL -> Array.make (Dag.n dag) env.p
+    | DL_BD_CPA -> Allocation.allocate ~p:env.p dag
+    | DL_BD_CPAR -> Allocation.allocate ~p:env.q dag
+  in
+  fun ~deadline ->
+    backward ~order env dag ~deadline ~place:(fun cal ~i ~dl ~placed:_ ->
+        place_latest cal (Dag.task dag i) ~dl ~bound:(max 1 bounds.(i)))
+
+let aggressive algo env dag ~deadline = aggressive_prepared algo env dag ~deadline
+
+let conservative_prepared ?(bounded_fallback = false) algo (env : Env.t) dag =
+  let order = Bottom_level.order Bottom_level.BL_CPAR env dag in
+  let ref_q = match algo with DL_RC_CPA -> env.p | DL_RC_CPAR -> env.q in
+  let ref_allocs = Allocation.allocate ~p:ref_q dag in
+  let fallback_bounds =
+    if bounded_fallback then Allocation.allocate ~p:env.q dag else Array.make (Dag.n dag) env.p
+  in
+  fun ~lambda ~deadline ->
+    if lambda < 0. || lambda > 1. then invalid_arg "Deadline.resource_conservative: lambda";
+    backward ~order env dag ~deadline ~place:(fun cal ~i ~dl ~placed ->
+        let keep = Array.map not placed in
+        let reference =
+          match Mapping.map_subset dag ~allocs:ref_allocs ~p:ref_q ~keep with
+          | Some starts -> starts.(i)
+          | None -> 0
+        in
+        let threshold =
+          reference + int_of_float (Float.round (lambda *. float_of_int (dl - reference)))
+        in
+        match place_conservative cal (Dag.task dag i) ~dl ~threshold ~max_np:env.p with
+        | Some slot -> Some slot
+        | None -> place_latest cal (Dag.task dag i) ~dl ~bound:(max 1 fallback_bounds.(i)))
+
+let resource_conservative ?(lambda = 0.) ?bounded_fallback algo env dag ~deadline =
+  conservative_prepared ?bounded_fallback algo env dag ~lambda ~deadline
+
+let hybrid_prepared ?bounded_fallback ?(step = 0.05) env dag =
+  if step <= 0. then invalid_arg "Deadline.hybrid: step <= 0";
+  let prepared = conservative_prepared ?bounded_fallback DL_RC_CPAR env dag in
+  fun ~deadline ->
+    let rec sweep lambda =
+      if lambda > 1. +. 1e-9 then None
+      else begin
+        match prepared ~lambda:(Float.min 1. lambda) ~deadline with
+        | Some sched -> Some (sched, Float.min 1. lambda)
+        | None -> sweep (lambda +. step)
+      end
+    in
+    sweep 0.
+
+let hybrid ?bounded_fallback ?step env dag ~deadline =
+  hybrid_prepared ?bounded_fallback ?step env dag ~deadline
+
+let lower_bound (env : Env.t) dag =
+  let weights = Array.map (fun tk -> Task.exec_time_f tk env.p) (Dag.tasks dag) in
+  int_of_float (ceil (Analysis.cp_length dag ~weights))
+
+let tightest ?(resolution = 60) algo env dag =
+  if resolution < 1 then invalid_arg "Deadline.tightest: resolution < 1";
+  let lo = max 1 (lower_bound env dag) in
+  (* Find a feasible upper bracket by doubling. *)
+  let rec bracket hi attempts =
+    if attempts = 0 then None
+    else begin
+      match algo ~deadline:hi with
+      | Some sched -> Some (hi, sched)
+      | None -> bracket (hi * 2) (attempts - 1)
+    end
+  in
+  match bracket lo 22 with
+  | None -> None
+  | Some (hi0, sched0) ->
+      let rec search lo hi best =
+        if hi - lo <= resolution then best
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          match algo ~deadline:mid with
+          | Some sched -> search lo mid (mid, sched)
+          | None -> search mid hi best
+        end
+      in
+      Some (search lo hi0 (hi0, sched0))

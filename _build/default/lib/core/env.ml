@@ -1,0 +1,10 @@
+module Calendar = Mp_platform.Calendar
+
+type t = { p : int; q : int; calendar : Calendar.t }
+
+let make ~calendar ~q =
+  let p = Calendar.procs calendar in
+  let q = max 1 (min p (int_of_float (Float.round q))) in
+  { p; q; calendar }
+
+let no_reservations ~p = { p; q = p; calendar = Calendar.create ~procs:p }

@@ -1,0 +1,17 @@
+(** Scheduling environment: the cluster, its reservation calendar at
+    scheduling time (time 0 = "now"), and the historical average number of
+    available processors [q] used by the *_CPAR algorithm variants. *)
+
+type t = {
+  p : int;  (** total processors *)
+  q : int;  (** historical average available processors, in [\[1, p\]] *)
+  calendar : Mp_platform.Calendar.t;  (** competing reservations *)
+}
+
+val make : calendar:Mp_platform.Calendar.t -> q:float -> t
+(** [make ~calendar ~q] rounds [q] and clamps it into [\[1, p\]] where [p]
+    is the calendar's cluster size. *)
+
+val no_reservations : p:int -> t
+(** Empty calendar with [q = p]; with it, BL_CPA_BD_CPA reduces to plain
+    CPA. *)

@@ -1,0 +1,30 @@
+module Dag = Mp_dag.Dag
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Schedule = Mp_cpa.Schedule
+
+let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~events dag =
+  let order = Bottom_level.order bl env dag in
+  let bounds = Bound.bounds bd env dag in
+  let slots = Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
+  let cal = ref env.calendar in
+  let granted = ref [] in
+  Array.iteri
+    (fun k i ->
+      if k < Array.length events then
+        List.iter
+          (fun r ->
+            match Calendar.reserve_opt !cal r with
+            | Some cal' ->
+                cal := cal';
+                granted := r :: !granted
+            | None -> () (* the competitor lost the race for that slot *))
+          events.(k);
+      let ready =
+        Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) 0 (Dag.preds dag i)
+      in
+      let s, fin, np = Ressched.place !cal (Dag.task dag i) ~ready ~bound:(max 1 bounds.(i)) in
+      cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
+      slots.(i) <- { start = s; finish = fin; procs = np })
+    order;
+  ({ Schedule.slots }, List.rev !granted)

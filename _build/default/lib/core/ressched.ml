@@ -1,0 +1,58 @@
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Schedule = Mp_cpa.Schedule
+
+let name ~bl ~bd = Bottom_level.name bl ^ "_" ^ Bound.name bd
+
+(* Earliest-completion placement of one task: completion time is not
+   monotone in the processor count because of reservation holes, so every
+   {e distinct} duration is examined (the O(R·N) inner loop of the paper's
+   complexity analysis; counts inside an Amdahl plateau are dominated by
+   the plateau's first count and skipped, see {!Task.alloc_candidates}). *)
+let place cal task ~ready ~bound =
+  (* Candidates are visited by descending processor count (ascending
+     duration): once [ready + dur] exceeds the best completion found, no
+     remaining (longer) candidate can win, completion being at least
+     [ready + dur] — so the scan stops, which on lightly loaded calendars
+     reduces the inner loop to a handful of fit queries. *)
+  let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
+  let rec go best = function
+    | [] -> best
+    | np :: rest -> (
+        let dur = Task.exec_time task np in
+        match best with
+        | Some (_, bf, _) when ready + dur > bf -> best
+        | _ -> (
+            match Calendar.earliest_fit cal ~after:ready ~procs:np ~dur with
+            | None -> go best rest
+            | Some s ->
+                let fin = s + dur in
+                let better =
+                  match best with
+                  | None -> true
+                  | Some (_, bf, bnp) -> fin < bf || (fin = bf && np < bnp)
+                in
+                go (if better then Some ((s, fin, np), fin, np) else best) rest))
+  in
+  match go None candidates with
+  | Some (slot, _, _) -> slot
+  | None -> assert false (* np = 1 always fits eventually *)
+
+let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) ?(now = 0) (env : Env.t) dag =
+  if now < 0 then invalid_arg "Ressched.schedule: now < 0";
+  let order = Bottom_level.order bl env dag in
+  let bounds = Bound.bounds bd env dag in
+  let slots = Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
+  let cal = ref env.calendar in
+  Array.iter
+    (fun i ->
+      let ready =
+        Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) now (Dag.preds dag i)
+      in
+      let s, fin, np = place !cal (Dag.task dag i) ~ready ~bound:(max 1 bounds.(i)) in
+      cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
+      slots.(i) <- { start = s; finish = fin; procs = np })
+    order;
+  { Schedule.slots }

@@ -1,0 +1,1 @@
+lib/cpa/allocation.ml: Array Float Mp_dag

@@ -1,0 +1,1 @@
+lib/cpa/allocation.mli: Mp_dag

@@ -1,0 +1,1 @@
+lib/cpa/cpa.ml: Allocation Mapping Schedule

@@ -1,0 +1,1 @@
+lib/cpa/cpa.mli: Allocation Mp_dag Schedule

@@ -1,0 +1,1 @@
+lib/cpa/gantt.ml: Array Buffer List Mp_platform Printf Schedule Seq String

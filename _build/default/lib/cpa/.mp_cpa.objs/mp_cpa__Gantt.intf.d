@@ -1,0 +1,1 @@
+lib/cpa/gantt.mli: Mp_platform Schedule

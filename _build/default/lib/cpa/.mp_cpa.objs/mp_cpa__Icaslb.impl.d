@@ -1,0 +1,1 @@
+lib/cpa/icaslb.ml: Array Float Mapping Mp_dag Schedule

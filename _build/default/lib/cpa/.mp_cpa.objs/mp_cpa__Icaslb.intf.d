@@ -1,0 +1,1 @@
+lib/cpa/icaslb.mli: Mp_dag Schedule

@@ -1,0 +1,1 @@
+lib/cpa/mapping.ml: Allocation Array Mp_dag Mp_platform Schedule

@@ -1,0 +1,1 @@
+lib/cpa/mapping.mli: Mp_dag Schedule

@@ -1,0 +1,1 @@
+lib/cpa/mcpa.ml: Array Float Mapping Mp_dag

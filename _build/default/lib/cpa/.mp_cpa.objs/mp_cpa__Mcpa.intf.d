@@ -1,0 +1,1 @@
+lib/cpa/mcpa.mli: Mp_dag Schedule

@@ -1,0 +1,1 @@
+lib/cpa/schedule.ml: Array Buffer Format List Mp_dag Mp_platform Printf Result

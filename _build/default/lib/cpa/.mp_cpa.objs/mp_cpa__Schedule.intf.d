@@ -1,0 +1,1 @@
+lib/cpa/schedule.mli: Format Mp_dag Mp_platform

@@ -1,0 +1,68 @@
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Analysis = Mp_dag.Analysis
+
+type criterion = Classic | Improved
+
+let weights dag ~allocs =
+  Array.mapi (fun i tk -> Task.exec_time_f tk allocs.(i)) (Dag.tasks dag)
+
+(* Minimum relative gain for an increment to count under Improved; avoids
+   burning processors on an Amdahl plateau. *)
+let min_gain = 1e-4
+
+let allocate ?(criterion = Improved) ~p dag =
+  if p < 1 then invalid_arg "Allocation.allocate: p < 1";
+  let nb = Dag.n dag in
+  let allocs = Array.make nb 1 in
+  let caps =
+    match criterion with
+    | Classic -> Array.make nb p
+    | Improved ->
+        let lev = Analysis.levels dag in
+        let widths = Analysis.level_widths dag in
+        Array.init nb (fun i -> max 1 ((p + widths.(lev.(i)) - 1) / widths.(lev.(i))))
+  in
+  let tasks = Dag.tasks dag in
+  let w = weights dag ~allocs in
+  (* Running total work, updated incrementally. *)
+  let total_work = ref 0. in
+  Array.iteri (fun i wi -> total_work := !total_work +. (float_of_int allocs.(i) *. wi)) w;
+  let rec loop () =
+    let bl = Analysis.bottom_levels dag ~weights:w in
+    let tl = Analysis.top_levels dag ~weights:w in
+    let t_cp = bl.(Dag.entry dag) in
+    let t_a = !total_work /. float_of_int p in
+    if t_cp <= t_a then ()
+    else begin
+      (* Pick the critical-path task with the best relative gain from one
+         more processor, among tasks below their cap. *)
+      let eps = 1e-9 *. Float.max 1. t_cp in
+      let best = ref None in
+      for i = 0 to nb - 1 do
+        if Float.abs (tl.(i) +. bl.(i) -. t_cp) <= eps && allocs.(i) < caps.(i) then begin
+          let cur = w.(i) in
+          let nxt = Task.exec_time_f tasks.(i) (allocs.(i) + 1) in
+          let gain = (cur -. nxt) /. cur in
+          let good =
+            match criterion with Classic -> gain > 0. | Improved -> gain > min_gain
+          in
+          if good then begin
+            match !best with
+            | Some (_, g) when g >= gain -> ()
+            | _ -> best := Some (i, gain)
+          end
+        end
+      done;
+      match !best with
+      | None -> () (* no critical-path task can usefully grow: stop *)
+      | Some (i, _) ->
+          total_work := !total_work -. (float_of_int allocs.(i) *. w.(i));
+          allocs.(i) <- allocs.(i) + 1;
+          w.(i) <- Task.exec_time_f tasks.(i) allocs.(i);
+          total_work := !total_work +. (float_of_int allocs.(i) *. w.(i));
+          loop ()
+    end
+  in
+  loop ();
+  allocs

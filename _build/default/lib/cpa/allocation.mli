@@ -1,0 +1,27 @@
+(** Allocation phase of the CPA algorithm (Radulescu & van Gemund, ICPP'01).
+
+    Starting from one processor per task, the allocation of the
+    critical-path task with the largest relative execution-time reduction
+    is repeatedly incremented, until the critical-path length [T_CP] no
+    longer exceeds the average area [T_A = (Σ n_i · w_i(n_i)) / p].
+
+    Two stopping criteria are provided:
+
+    - [Classic] — exactly the above.
+    - [Improved] — the behaviour of the modified criterion of N'Takpé,
+      Suter & Casanova (ISPDC'07), which the paper adopts: over-allocation
+      on wide DAGs is prevented by additionally capping each task's
+      allocation at [⌈p / width(level(t))⌉] (an MCPA-inspired per-level
+      fairness bound) and by ignoring increments whose relative gain is
+      negligible.  See DESIGN.md ("Substitutions") for the rationale. *)
+
+type criterion = Classic | Improved
+
+val allocate : ?criterion:criterion -> p:int -> Mp_dag.Dag.t -> int array
+(** [allocate ~p dag] returns the per-task processor allocation, each in
+    [\[1, p\]].  Default criterion is [Improved] (the paper's CPA).
+    Raises [Invalid_argument] if [p < 1]. *)
+
+val weights : Mp_dag.Dag.t -> allocs:int array -> float array
+(** Execution-time weights (un-rounded) induced by an allocation; the
+    input to bottom-level computations. *)

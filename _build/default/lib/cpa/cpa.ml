@@ -1,0 +1,5 @@
+let schedule ?criterion ~p dag =
+  let allocs = Allocation.allocate ?criterion ~p dag in
+  Mapping.map dag ~allocs ~p
+
+let makespan ?criterion ~p dag = Schedule.turnaround (schedule ?criterion ~p dag)

@@ -1,0 +1,12 @@
+(** The complete CPA scheduler (allocation + mapping) for mixed-parallel
+    applications on a dedicated homogeneous cluster — the base algorithm
+    the paper's advance-reservation schedulers are built from.
+
+    With an empty reservation calendar, the paper's BL_CPA_BD_CPA
+    algorithm degenerates to exactly this. *)
+
+val schedule : ?criterion:Allocation.criterion -> p:int -> Mp_dag.Dag.t -> Schedule.t
+(** Allocate (default: improved criterion) then map on [p] processors. *)
+
+val makespan : ?criterion:Allocation.criterion -> p:int -> Mp_dag.Dag.t -> int
+(** Makespan of {!schedule}. *)

@@ -1,0 +1,179 @@
+module Reservation = Mp_platform.Reservation
+
+type item = { label : string; start : int; finish : int; procs : int; competing : bool }
+
+let items ~competing sched =
+  let of_res (r : Reservation.t) =
+    { label = "#"; start = r.start; finish = r.finish; procs = r.procs; competing = true }
+  in
+  let of_task i (s : Schedule.slot) =
+    {
+      label = "t" ^ string_of_int i;
+      start = s.start;
+      finish = s.finish;
+      procs = s.procs;
+      competing = false;
+    }
+  in
+  let all =
+    List.map of_res competing
+    @ List.of_seq (Seq.mapi of_task (Array.to_seq sched.Schedule.slots))
+  in
+  List.sort (fun a b -> compare (a.start, a.finish) (b.start, b.finish)) all
+
+(* First-fit assignment of concrete processor indices: for each item (start
+   order) pick the [procs] first processors free at its start.  Capacity
+   feasibility of the schedule guarantees enough of them.  Items whose
+   interval starts before 0 are clipped for display. *)
+let assign ~procs items =
+  let busy_until = Array.make procs min_int in
+  List.filter_map
+    (fun it ->
+      let rows = ref [] in
+      let needed = ref it.procs in
+      (try
+         for p = 0 to procs - 1 do
+           if !needed > 0 && busy_until.(p) <= it.start then begin
+             rows := p :: !rows;
+             busy_until.(p) <- it.finish;
+             decr needed
+           end
+         done
+       with Exit -> ());
+      if !needed > 0 then None (* over-capacity input: skip rather than lie *)
+      else Some (it, List.rev !rows))
+    items
+
+let span items =
+  let lo = List.fold_left (fun acc it -> min acc (max 0 it.start)) max_int items in
+  let hi = List.fold_left (fun acc it -> max acc it.finish) 0 items in
+  if items = [] || lo >= hi then (0, 1) else (lo, hi)
+
+let task_char =
+  let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  fun i -> letters.[i mod String.length letters]
+
+let ascii ?(width = 100) ?(max_rows = 40) ~procs ~competing sched =
+  if width < 10 then invalid_arg "Gantt.ascii: width < 10";
+  let its = items ~competing sched in
+  let placed = assign ~procs its in
+  let lo, hi = span its in
+  let scale t = (t - lo) * width / max 1 (hi - lo) in
+  (* down-sample processors onto display rows *)
+  let rows = min procs max_rows in
+  let row_of p = p * rows / procs in
+  let grid = Array.make_matrix rows width '.' in
+  let task_index = ref 0 in
+  List.iter
+    (fun (it, ps) ->
+      let c =
+        if it.competing then '#'
+        else begin
+          let c = task_char !task_index in
+          incr task_index;
+          c
+        end
+      in
+      let x0 = max 0 (scale (max lo it.start)) in
+      let x1 = max (x0 + 1) (scale (min hi it.finish)) in
+      List.iter
+        (fun p ->
+          let r = row_of p in
+          for x = x0 to min (width - 1) (x1 - 1) do
+            (* tasks overwrite idle and competing marks; never other tasks *)
+            if grid.(r).(x) = '.' || (grid.(r).(x) = '#' && c <> '#') then grid.(r).(x) <- c
+          done)
+        ps)
+    placed;
+  let buf = Buffer.create ((rows + 2) * (width + 8)) in
+  Buffer.add_string buf
+    (Printf.sprintf "time %d .. %d s (%.1f h), %d processors on %d rows\n" lo hi
+       (float_of_int (hi - lo) /. 3600.)
+       procs rows);
+  Array.iteri
+    (fun r line ->
+      Buffer.add_string buf (Printf.sprintf "%3d|" r);
+      Buffer.add_string buf (String.init width (Array.get line));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf
+
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2"; "#edc948"; "#ff9da7" |]
+
+let svg ?(width = 960) ?(row_height = 10) ~procs ~competing sched =
+  let its = items ~competing sched in
+  let placed = assign ~procs its in
+  let lo, hi = span its in
+  let margin = 40 in
+  let w = width - (2 * margin) in
+  let scale t = margin + ((t - lo) * w / max 1 (hi - lo)) in
+  let height = (procs * row_height) + 60 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" font-family=\"monospace\" font-size=\"9\">\n"
+       width height);
+  Buffer.add_string buf "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  (* hour grid *)
+  let hour = 3600 in
+  let first_hour = (lo + hour - 1) / hour * hour in
+  let step =
+    (* at most ~24 gridlines *)
+    let hours_total = max 1 ((hi - lo) / hour) in
+    max 1 (hours_total / 24) * hour
+  in
+  let t = ref first_hour in
+  while !t <= hi do
+    let x = scale !t in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%d\" y1=\"20\" x2=\"%d\" y2=\"%d\" stroke=\"#dddddd\"/>\n<text x=\"%d\" y=\"14\" fill=\"#666666\">%dh</text>\n"
+         x x (height - 30) x (!t / hour));
+    t := !t + step
+  done;
+  let task_index = ref 0 in
+  List.iter
+    (fun (it, ps) ->
+      let x0 = scale (max lo it.start) and x1 = scale (min hi it.finish) in
+      let color =
+        if it.competing then "#c0c0c0"
+        else begin
+          let c = palette.(!task_index mod Array.length palette) in
+          incr task_index;
+          c
+        end
+      in
+      (* contiguous runs of processor rows render as one rectangle *)
+      let rec runs = function
+        | [] -> []
+        | p :: rest ->
+            let rec take q = function
+              | r :: rest' when r = q + 1 -> take r rest'
+              | rest' -> (q, rest')
+            in
+            let q, rest' = take p rest in
+            (p, q) :: runs rest'
+      in
+      List.iter
+        (fun (p0, p1) ->
+          let y = 25 + (p0 * row_height) in
+          let h = (p1 - p0 + 1) * row_height in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"white\" stroke-width=\"0.5\"%s/>\n"
+               x0 y
+               (max 1 (x1 - x0))
+               h color
+               (if it.competing then " opacity=\"0.6\"" else ""));
+          if (not it.competing) && x1 - x0 > 18 then
+            Buffer.add_string buf
+              (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"white\">%s</text>\n" (x0 + 2)
+                 (y + row_height - 2) it.label))
+        (runs ps))
+    placed;
+  Buffer.add_string buf
+    (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333333\">%d processors, %d items</text>\n"
+       margin (height - 10) procs (List.length placed));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

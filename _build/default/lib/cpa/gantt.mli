@@ -1,0 +1,38 @@
+(** Gantt-chart rendering of schedules: which processors run what, when.
+
+    Schedules (and the availability calendar) only track processor
+    {e counts}; for display, concrete processor indices are assigned
+    greedily in start-time order (first-fit over free processors), which
+    is always possible because schedules are capacity-feasible.
+
+    Both renderers draw the competing reservations (dimmed / ['#']) and
+    the application's tasks (labelled) on a cluster of [procs]
+    processors. *)
+
+type item = {
+  label : string;
+  start : int;
+  finish : int;
+  procs : int;
+  competing : bool;
+}
+
+val items :
+  competing:Mp_platform.Reservation.t list -> Schedule.t -> item list
+(** The drawing list: one item per competing reservation and per task
+    (labelled ["t<i>"]), in start order. *)
+
+val ascii :
+  ?width:int -> ?max_rows:int -> procs:int ->
+  competing:Mp_platform.Reservation.t list -> Schedule.t -> string
+(** Text rendering: one row per processor (at most [max_rows], default
+    40 — larger clusters are down-sampled), [width] (default 100) time
+    columns covering the busy span.  Tasks print as letters (cycling
+    a-z, A-Z), competing reservations as ['#'], idle as ['.']. *)
+
+val svg :
+  ?width:int -> ?row_height:int -> procs:int ->
+  competing:Mp_platform.Reservation.t list -> Schedule.t -> string
+(** Standalone SVG document ([width] px wide, default 960; [row_height]
+    px per processor, default 10): competing reservations in grey, tasks
+    in a rotating palette with their labels, hour grid lines. *)

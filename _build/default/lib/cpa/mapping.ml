@@ -1,0 +1,51 @@
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Analysis = Mp_dag.Analysis
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+
+let bl_order dag ~weights =
+  let bl = Analysis.bottom_levels dag ~weights in
+  let idx = Array.init (Dag.n dag) (fun i -> i) in
+  Array.sort
+    (fun i j -> match compare bl.(j) bl.(i) with 0 -> compare i j | c -> c)
+    idx;
+  idx
+
+let map dag ~allocs ~p =
+  if Array.length allocs <> Dag.n dag then invalid_arg "Mapping.map: allocs length mismatch";
+  Array.iter (fun a -> if a < 1 || a > p then invalid_arg "Mapping.map: allocation outside [1, p]") allocs;
+  let weights = Allocation.weights dag ~allocs in
+  let order = bl_order dag ~weights in
+  let slots =
+    Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot)
+  in
+  let cal = ref (Calendar.create ~procs:p) in
+  Array.iter
+    (fun i ->
+      let ready =
+        Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) 0 (Dag.preds dag i)
+      in
+      let np = allocs.(i) in
+      let dur = Task.exec_time (Dag.task dag i) np in
+      match Calendar.earliest_fit !cal ~after:ready ~procs:np ~dur with
+      | None -> assert false (* np <= p on an empty-calendar cluster always fits *)
+      | Some s ->
+          cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:(s + dur) ~procs:np);
+          slots.(i) <- { start = s; finish = s + dur; procs = np })
+    order;
+  { Schedule.slots }
+
+let map_subset dag ~allocs ~p ~keep =
+  match Dag.sub dag ~keep with
+  | None -> None
+  | Some (sub, mapping) ->
+      let sub_allocs =
+        Array.map (fun old_i -> if old_i >= 0 then min p allocs.(old_i) else 1) mapping
+      in
+      let sched = map sub ~allocs:sub_allocs ~p in
+      let starts = Array.make (Dag.n dag) (-1) in
+      Array.iteri
+        (fun new_i old_i -> if old_i >= 0 then starts.(old_i) <- Schedule.start sched new_i)
+        mapping;
+      Some starts

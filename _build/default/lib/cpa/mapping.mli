@@ -1,0 +1,24 @@
+(** Mapping phase of CPA: list scheduling with fixed allocations on an
+    otherwise empty cluster of [p] processors.
+
+    Tasks are placed in decreasing bottom-level order (with the
+    allocation-induced weights) at the earliest time compatible with their
+    predecessors and with processor availability.  Because weights are
+    positive, decreasing bottom level is a topological order, so every
+    predecessor is placed before its successors. *)
+
+val bl_order : Mp_dag.Dag.t -> weights:float array -> int array
+(** Task indices sorted by decreasing bottom level (ties by index).  This
+    is a valid topological order for positive weights. *)
+
+val map : Mp_dag.Dag.t -> allocs:int array -> p:int -> Schedule.t
+(** [map dag ~allocs ~p] list-schedules the DAG.  Raises
+    [Invalid_argument] when an allocation exceeds [p]. *)
+
+val map_subset : Mp_dag.Dag.t -> allocs:int array -> p:int -> keep:bool array -> int array option
+(** [map_subset dag ~allocs ~p ~keep] builds the reference schedule the
+    resource-conservative deadline algorithms need: the sub-DAG of kept
+    tasks is scheduled from time 0 (virtual entry/exit tasks are inserted
+    when the restriction is not single-entry/single-exit), and the start
+    time of each kept task is returned ([-1] for dropped tasks).  [None]
+    when nothing is kept. *)

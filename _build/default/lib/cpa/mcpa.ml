@@ -1,0 +1,51 @@
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Analysis = Mp_dag.Analysis
+
+let allocate ~p dag =
+  if p < 1 then invalid_arg "Mcpa.allocate: p < 1";
+  let nb = Dag.n dag in
+  let allocs = Array.make nb 1 in
+  let lev = Analysis.levels dag in
+  let n_levels = 1 + Array.fold_left max 0 lev in
+  let level_total = Array.make n_levels 0 in
+  Array.iter (fun l -> level_total.(l) <- level_total.(l) + 1) lev;
+  let tasks = Dag.tasks dag in
+  let w = Array.mapi (fun i tk -> Task.exec_time_f tk allocs.(i)) tasks in
+  let total_work = ref 0. in
+  Array.iteri (fun i wi -> total_work := !total_work +. (float_of_int allocs.(i) *. wi)) w;
+  let rec loop () =
+    let bl = Analysis.bottom_levels dag ~weights:w in
+    let tl = Analysis.top_levels dag ~weights:w in
+    let t_cp = bl.(Dag.entry dag) in
+    let t_a = !total_work /. float_of_int p in
+    if t_cp <= t_a then ()
+    else begin
+      let eps = 1e-9 *. Float.max 1. t_cp in
+      let best = ref None in
+      for i = 0 to nb - 1 do
+        let level_ok = level_total.(lev.(i)) < p in
+        if Float.abs (tl.(i) +. bl.(i) -. t_cp) <= eps && allocs.(i) < p && level_ok then begin
+          let cur = w.(i) in
+          let nxt = Task.exec_time_f tasks.(i) (allocs.(i) + 1) in
+          let gain = (cur -. nxt) /. cur in
+          if gain > 0. then begin
+            match !best with Some (_, g) when g >= gain -> () | _ -> best := Some (i, gain)
+          end
+        end
+      done;
+      match !best with
+      | None -> ()
+      | Some (i, _) ->
+          total_work := !total_work -. (float_of_int allocs.(i) *. w.(i));
+          allocs.(i) <- allocs.(i) + 1;
+          level_total.(lev.(i)) <- level_total.(lev.(i)) + 1;
+          w.(i) <- Task.exec_time_f tasks.(i) allocs.(i);
+          total_work := !total_work +. (float_of_int allocs.(i) *. w.(i));
+          loop ()
+    end
+  in
+  loop ();
+  allocs
+
+let schedule ~p dag = Mapping.map dag ~allocs:(allocate ~p dag) ~p

@@ -1,0 +1,15 @@
+(** MCPA — the modified CPA of Bansal, Kumar & Singh (Parallel Computing,
+    2006) for {e layered} task graphs, cited by the paper as the first
+    answer to CPA's over-allocation problem.
+
+    MCPA runs CPA's allocation loop but refuses to grow a task's
+    allocation when the total allocation of the task's level would exceed
+    the cluster size, preserving task parallelism within each level.
+    Implemented as an extension / ablation baseline. *)
+
+val allocate : p:int -> Mp_dag.Dag.t -> int array
+(** Per-task allocations under the per-level constraint
+    [Σ_{t ∈ level} n_t <= p]. *)
+
+val schedule : p:int -> Mp_dag.Dag.t -> Schedule.t
+(** Allocation followed by the standard CPA mapping phase. *)

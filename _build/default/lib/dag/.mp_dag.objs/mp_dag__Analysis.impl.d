@@ -1,0 +1,1 @@
+lib/dag/analysis.ml: Array Dag Float List Task

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Buffer Format Hashtbl List Printf Queue String Task

@@ -1,0 +1,1 @@
+lib/dag/dag_gen.ml: Array Dag Float Format Hashtbl List Mp_prelude Task

@@ -1,0 +1,1 @@
+lib/dag/dag_gen.mli: Dag Format Mp_prelude

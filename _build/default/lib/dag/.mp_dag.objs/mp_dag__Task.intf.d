@@ -1,0 +1,1 @@
+lib/dag/task.mli: Format

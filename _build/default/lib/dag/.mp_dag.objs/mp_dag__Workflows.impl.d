@@ -1,0 +1,1 @@
+lib/dag/workflows.ml: Array Dag List Mp_prelude Task

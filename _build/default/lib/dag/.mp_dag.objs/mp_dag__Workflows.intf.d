@@ -1,0 +1,1 @@
+lib/dag/workflows.mli: Dag Mp_prelude

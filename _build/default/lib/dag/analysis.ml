@@ -1,0 +1,85 @@
+let check_weights dag weights =
+  if Array.length weights <> Dag.n dag then invalid_arg "Analysis: weights length mismatch"
+
+let bottom_levels dag ~weights =
+  check_weights dag weights;
+  let nb = Dag.n dag in
+  let bl = Array.make nb 0. in
+  let topo = Dag.topological_order dag in
+  for k = nb - 1 downto 0 do
+    let i = topo.(k) in
+    let best = Array.fold_left (fun acc j -> Float.max acc bl.(j)) 0. (Dag.succs dag i) in
+    bl.(i) <- weights.(i) +. best
+  done;
+  bl
+
+let top_levels dag ~weights =
+  check_weights dag weights;
+  let nb = Dag.n dag in
+  let tl = Array.make nb 0. in
+  let topo = Dag.topological_order dag in
+  for k = 0 to nb - 1 do
+    let i = topo.(k) in
+    let best =
+      Array.fold_left (fun acc j -> Float.max acc (tl.(j) +. weights.(j))) 0. (Dag.preds dag i)
+    in
+    tl.(i) <- best
+  done;
+  tl
+
+let cp_length dag ~weights = (bottom_levels dag ~weights).(Dag.entry dag)
+
+let critical_path dag ~weights =
+  let bl = bottom_levels dag ~weights in
+  let rec follow i acc =
+    let acc = i :: acc in
+    let succs = Dag.succs dag i in
+    if Array.length succs = 0 then List.rev acc
+    else begin
+      let best =
+        Array.fold_left
+          (fun acc_j j -> match acc_j with Some b when bl.(b) >= bl.(j) -> acc_j | _ -> Some j)
+          None succs
+      in
+      match best with Some j -> follow j acc | None -> assert false
+    end
+  in
+  follow (Dag.entry dag) []
+
+let on_critical_path dag ~weights =
+  let bl = bottom_levels dag ~weights in
+  let tl = top_levels dag ~weights in
+  let cp = bl.(Dag.entry dag) in
+  let eps = 1e-9 *. Float.max 1. cp in
+  Array.init (Dag.n dag) (fun i -> Float.abs (tl.(i) +. bl.(i) -. cp) <= eps)
+
+let levels dag =
+  let nb = Dag.n dag in
+  let lev = Array.make nb 0 in
+  let topo = Dag.topological_order dag in
+  for k = 0 to nb - 1 do
+    let i = topo.(k) in
+    Array.iter (fun j -> if lev.(i) + 1 > lev.(j) then lev.(j) <- lev.(i) + 1) (Dag.succs dag i)
+  done;
+  lev
+
+let level_widths dag =
+  let lev = levels dag in
+  let depth = Array.fold_left max 0 lev in
+  let widths = Array.make (depth + 1) 0 in
+  Array.iter (fun l -> widths.(l) <- widths.(l) + 1) lev;
+  widths
+
+let width dag = Array.fold_left max 0 (level_widths dag)
+
+let total_work dag ~allocs =
+  if Array.length allocs <> Dag.n dag then invalid_arg "Analysis.total_work: allocs length mismatch";
+  let sum = ref 0. in
+  Array.iteri
+    (fun i tk -> sum := !sum +. (float_of_int allocs.(i) *. Task.exec_time_f tk allocs.(i)))
+    (Dag.tasks dag);
+  !sum
+
+let average_area dag ~allocs ~p =
+  if p <= 0 then invalid_arg "Analysis.average_area: p <= 0";
+  total_work dag ~allocs /. float_of_int p

@@ -1,0 +1,46 @@
+(** Structural and temporal analysis of task DAGs: bottom levels, critical
+    paths, and level decomposition.
+
+    Weights are per-task execution times (floats, seconds); callers choose
+    them according to an allocation (see {!Mp_dag.Task.exec_time_f}), which
+    is exactly how the paper's BL_1 / BL_ALL / BL_CPA / BL_CPAR variants
+    differ. *)
+
+val bottom_levels : Dag.t -> weights:float array -> float array
+(** [bottom_levels dag ~weights] gives, for each task, the maximum total
+    weight of any path from that task (inclusive) to the exit task.
+    Computed in reverse topological order, O(V + E). *)
+
+val top_levels : Dag.t -> weights:float array -> float array
+(** For each task, the maximum total weight of any path from the entry task
+    to that task, {e excluding} the task itself (i.e. its earliest possible
+    start when all allocations run with the given weights and unlimited
+    processors). *)
+
+val cp_length : Dag.t -> weights:float array -> float
+(** Critical-path length = bottom level of the entry task. *)
+
+val critical_path : Dag.t -> weights:float array -> int list
+(** One critical path as a list of task indices from entry to exit. *)
+
+val on_critical_path : Dag.t -> weights:float array -> bool array
+(** [on_critical_path dag ~weights] marks every task [i] with
+    [top_level(i) + bottom_level(i) = cp_length] (within a small
+    tolerance). *)
+
+val levels : Dag.t -> int array
+(** Longest-path depth of each task from the entry (entry has level 0).
+    This is the level decomposition used by the generator and by MCPA. *)
+
+val level_widths : Dag.t -> int array
+(** [level_widths dag].(l) is the number of tasks at depth [l]. *)
+
+val width : Dag.t -> int
+(** Maximum level width (the DAG's degree of task parallelism). *)
+
+val total_work : Dag.t -> allocs:int array -> float
+(** Sum over tasks of [np * exec_time np] in CPU-seconds. *)
+
+val average_area : Dag.t -> allocs:int array -> p:int -> float
+(** CPA's T_A: [total_work / p] — a lower bound on makespan by the area
+    argument. *)

@@ -1,0 +1,160 @@
+type t = {
+  tasks : Task.t array;
+  succs : int array array;
+  preds : int array array;
+  entry : int;
+  exit_ : int;
+  topo : int array;
+  n_edges : int;
+}
+
+let n t = Array.length t.tasks
+let n_edges t = t.n_edges
+let task t i = t.tasks.(i)
+let tasks t = t.tasks
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+let entry t = t.entry
+let exit_ t = t.exit_
+let topological_order t = t.topo
+
+let edges t =
+  let acc = ref [] in
+  for i = Array.length t.tasks - 1 downto 0 do
+    Array.iter (fun j -> acc := (i, j) :: !acc) t.succs.(i)
+  done;
+  !acc
+
+(* Kahn's algorithm; raises on cycles. *)
+let topo_sort ~n ~succs ~preds =
+  let indeg = Array.map Array.length preds in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = Array.make n (-1) in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!count) <- i;
+    incr count;
+    Array.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  if !count <> n then invalid_arg "Dag.make: graph has a cycle";
+  order
+
+let make tasks edge_list =
+  let nb = Array.length tasks in
+  if nb = 0 then invalid_arg "Dag.make: no tasks";
+  Array.iteri (fun i (t : Task.t) -> if t.id <> i then invalid_arg "Dag.make: task id <> index") tasks;
+  let seen = Hashtbl.create (List.length edge_list) in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= nb || j < 0 || j >= nb then invalid_arg "Dag.make: edge out of range";
+      if i = j then invalid_arg "Dag.make: self-loop";
+      if Hashtbl.mem seen (i, j) then invalid_arg "Dag.make: duplicate edge";
+      Hashtbl.add seen (i, j) ())
+    edge_list;
+  let succs_l = Array.make nb [] and preds_l = Array.make nb [] in
+  List.iter
+    (fun (i, j) ->
+      succs_l.(i) <- j :: succs_l.(i);
+      preds_l.(j) <- i :: preds_l.(j))
+    edge_list;
+  let sort_arr l = Array.of_list (List.sort compare l) in
+  let succs = Array.map sort_arr succs_l and preds = Array.map sort_arr preds_l in
+  let sources = ref [] and sinks = ref [] in
+  for i = 0 to nb - 1 do
+    if Array.length preds.(i) = 0 then sources := i :: !sources;
+    if Array.length succs.(i) = 0 then sinks := i :: !sinks
+  done;
+  let entry =
+    match !sources with [ e ] -> e | _ -> invalid_arg "Dag.make: DAG must have a single entry task"
+  in
+  let exit_ =
+    match !sinks with [ x ] -> x | _ -> invalid_arg "Dag.make: DAG must have a single exit task"
+  in
+  let topo = topo_sort ~n:nb ~succs ~preds in
+  { tasks; succs; preds; entry; exit_; topo; n_edges = List.length edge_list }
+
+let sub t ~keep =
+  if Array.length keep <> n t then invalid_arg "Dag.sub: keep length mismatch";
+  let kept = ref [] in
+  for i = n t - 1 downto 0 do
+    if keep.(i) then kept := i :: !kept
+  done;
+  match !kept with
+  | [] -> None
+  | kept_list ->
+      let kept = Array.of_list kept_list in
+      let nk = Array.length kept in
+      let new_of_old = Array.make (n t) (-1) in
+      Array.iteri (fun new_i old_i -> new_of_old.(old_i) <- new_i) kept;
+      let sub_edges = ref [] in
+      Array.iter
+        (fun old_i ->
+          Array.iter
+            (fun old_j -> if keep.(old_j) then sub_edges := (new_of_old.(old_i), new_of_old.(old_j)) :: !sub_edges)
+            t.succs.(old_i))
+        kept;
+      (* Count sources and sinks of the restriction. *)
+      let has_pred = Array.make nk false and has_succ = Array.make nk false in
+      List.iter
+        (fun (i, j) ->
+          has_succ.(i) <- true;
+          has_pred.(j) <- true)
+        !sub_edges;
+      let sources = ref [] and sinks = ref [] in
+      for i = nk - 1 downto 0 do
+        if not has_pred.(i) then sources := i :: !sources;
+        if not has_succ.(i) then sinks := i :: !sinks
+      done;
+      let virtual_task id = Task.make ~id ~seq:1. ~alpha:0. in
+      let tasks = ref (Array.to_list (Array.map (fun old_i -> t.tasks.(old_i)) kept)) in
+      let mapping = ref (Array.to_list kept) in
+      let next_id = ref nk in
+      let add_virtual () =
+        let id = !next_id in
+        incr next_id;
+        tasks := !tasks @ [ virtual_task id ];
+        mapping := !mapping @ [ -1 ];
+        id
+      in
+      (match !sources with
+      | [ _ ] -> ()
+      | many ->
+          let e = add_virtual () in
+          List.iter (fun s -> sub_edges := (e, s) :: !sub_edges) many);
+      (match !sinks with
+      | [ _ ] -> ()
+      | many ->
+          let x = add_virtual () in
+          List.iter (fun s -> sub_edges := (s, x) :: !sub_edges) many);
+      let tasks = Array.of_list !tasks in
+      (* Re-id tasks to match their index. *)
+      let tasks = Array.mapi (fun i (tk : Task.t) -> { tk with id = i }) tasks in
+      let mapping = Array.of_list !mapping in
+      Some (make tasks !sub_edges, mapping)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dag n=%d e=%d entry=%d exit=%d@," (n t) t.n_edges t.entry t.exit_;
+  Array.iteri
+    (fun i tk ->
+      Format.fprintf ppf "  %a -> [%s]@," Task.pp tk
+        (String.concat "," (Array.to_list (Array.map string_of_int t.succs.(i)))))
+    t.tasks;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dag {\n";
+  Array.iteri
+    (fun i (tk : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"t%d\\n%.0fs a=%.2f\"];\n" i i tk.seq tk.alpha))
+    t.tasks;
+  List.iter (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  t%d -> t%d;\n" i j)) (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Directed acyclic graph of moldable tasks.
+
+    Vertices are tasks (Section 3.1 of the paper); an edge [(i, j)] means
+    task [j] cannot start before task [i] completes.  Every DAG has a
+    single entry task (no predecessors) and a single exit task (no
+    successors); {!make} enforces this along with acyclicity. *)
+
+type t
+
+val make : Task.t array -> (int * int) list -> t
+(** [make tasks edges] builds and validates a DAG.  Task ids must equal
+    their index in the array.  Raises [Invalid_argument] when the edge list
+    references unknown tasks, contains self-loops or duplicates, creates a
+    cycle, or when the graph does not have exactly one entry and one exit
+    vertex. *)
+
+val n : t -> int
+(** Number of tasks. *)
+
+val n_edges : t -> int
+
+val task : t -> int -> Task.t
+val tasks : t -> Task.t array
+
+val succs : t -> int -> int array
+val preds : t -> int -> int array
+
+val entry : t -> int
+(** Index of the unique task with no predecessors. *)
+
+val exit_ : t -> int
+(** Index of the unique task with no successors. *)
+
+val topological_order : t -> int array
+(** Task indices in a topological order (entry first, exit last). *)
+
+val edges : t -> (int * int) list
+
+val sub : t -> keep:bool array -> (t * int array) option
+(** [sub t ~keep] restricts the DAG to tasks with [keep.(i) = true],
+    retaining edges between kept tasks, then re-wires entry/exit: a fresh
+    zero-ish-weight entry (and/or exit) task is {e not} added; instead the
+    subgraph is returned only when it already has a unique entry and exit
+    after adding, when needed, virtual edges from the original unique
+    source among kept tasks.  Returns [None] when no task is kept.  The
+    second component maps new indices back to original indices.
+
+    This is used by the resource-conservative deadline algorithms, which
+    repeatedly compute CPA reference schedules for the not-yet-scheduled
+    suffix of the DAG.  Because that suffix may have several sources or
+    sinks, [sub] inserts lightweight virtual tasks as needed (1-second
+    sequential time, fully parallel), which perturb reference start times
+    by at most one second. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** GraphViz rendering (labels show sequential time and alpha). *)

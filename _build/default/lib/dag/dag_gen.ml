@@ -1,0 +1,118 @@
+module Rng = Mp_prelude.Rng
+
+type params = {
+  n : int;
+  alpha : float;
+  width : float;
+  regularity : float;
+  density : float;
+  jump : int;
+}
+
+let default = { n = 50; alpha = 0.2; width = 0.5; regularity = 0.5; density = 0.5; jump = 1 }
+
+let table1 =
+  let nine = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  [
+    ("n", List.map (fun n -> { default with n }) [ 10; 25; 50; 75; 100 ]);
+    ("alpha", List.map (fun alpha -> { default with alpha }) [ 0.05; 0.10; 0.15; 0.20 ]);
+    ("width", List.map (fun width -> { default with width }) nine);
+    ("density", List.map (fun density -> { default with density }) nine);
+    ("regularity", List.map (fun regularity -> { default with regularity }) nine);
+    ("jump", List.map (fun jump -> { default with jump }) [ 1; 2; 3; 4 ]);
+  ]
+
+let validate p =
+  if p.n < 3 then invalid_arg "Dag_gen: n must be >= 3";
+  let check name v = if v <= 0. || v > 1. then invalid_arg ("Dag_gen: " ^ name ^ " not in (0,1]") in
+  check "alpha" p.alpha;
+  check "width" p.width;
+  check "regularity" p.regularity;
+  check "density" p.density;
+  if p.jump < 1 then invalid_arg "Dag_gen: jump must be >= 1"
+
+(* Sequential times: 1 minute to 10 hours, uniform (Section 3.1). *)
+let seq_min = 60.
+let seq_max = 36_000.
+
+let random_task rng p id =
+  Task.make ~id ~seq:(Rng.uniform rng seq_min seq_max) ~alpha:(Rng.uniform rng 0. p.alpha)
+
+(* Split [n] inner tasks into levels whose sizes average [n ^ width] with
+   jitter controlled by regularity. *)
+let draw_levels rng p n_inner =
+  let avg = Float.max 1. (float_of_int p.n ** p.width) in
+  let spread = (1. -. p.regularity) *. avg in
+  let rec go acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let sz = Rng.uniform rng (avg -. spread) (avg +. spread) in
+      let sz = max 1 (min remaining (int_of_float (Float.round sz))) in
+      go (sz :: acc) (remaining - sz)
+    end
+  in
+  go [] n_inner
+
+let generate rng p =
+  validate p;
+  let n_inner = p.n - 2 in
+  let level_sizes = draw_levels rng p n_inner in
+  (* Assign indices: 0 = entry, 1..n-2 = inner tasks level by level,
+     n-1 = exit. *)
+  let entry = 0 and exit_ = p.n - 1 in
+  let levels =
+    let next = ref 1 in
+    List.map
+      (fun sz ->
+        let ids = Array.init sz (fun k -> !next + k) in
+        next := !next + sz;
+        ids)
+      level_sizes
+  in
+  let level_arr = Array.of_list levels in
+  let n_levels = Array.length level_arr in
+  let edges = ref [] in
+  let has_pred = Array.make p.n false and has_succ = Array.make p.n false in
+  let add_edge i j =
+    edges := (i, j) :: !edges;
+    has_succ.(i) <- true;
+    has_pred.(j) <- true
+  in
+  let edge_set = Hashtbl.create (p.n * 4) in
+  let add_edge_once i j =
+    if not (Hashtbl.mem edge_set (i, j)) then begin
+      Hashtbl.add edge_set (i, j) ();
+      add_edge i j
+    end
+  in
+  (* Random inter-level edges: span k levels with probability density / k. *)
+  for lv = 1 to n_levels - 1 do
+    for k = 1 to min p.jump lv do
+      let prob = p.density /. float_of_int k in
+      Array.iter
+        (fun u ->
+          Array.iter (fun v -> if Rng.bernoulli rng prob then add_edge_once u v) level_arr.(lv))
+        level_arr.(lv - k)
+    done
+  done;
+  (* Guarantee connectivity within the levels: every task of level lv > 0
+     gets a predecessor in level lv-1 if it has none. *)
+  for lv = 1 to n_levels - 1 do
+    Array.iter
+      (fun v -> if not (has_pred.(v)) then add_edge_once (Rng.sample rng level_arr.(lv - 1)) v)
+      level_arr.(lv)
+  done;
+  (* Funnel through the entry and exit tasks. *)
+  if n_levels > 0 then begin
+    Array.iter (fun v -> if not has_pred.(v) then add_edge_once entry v) level_arr.(0);
+    for lv = 0 to n_levels - 1 do
+      Array.iter (fun v -> if not has_succ.(v) then add_edge_once v exit_) level_arr.(lv)
+    done
+  end
+  else add_edge_once entry exit_;
+  let tasks = Array.init p.n (fun id -> random_task rng p id) in
+  Dag.make tasks !edges
+
+let pp_params ppf p =
+  Format.fprintf ppf "n=%d alpha=%.2f width=%.1f regularity=%.1f density=%.1f jump=%d" p.n p.alpha
+    p.width p.regularity p.density p.jump

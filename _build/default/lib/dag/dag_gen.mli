@@ -1,0 +1,53 @@
+(** Random DAG generator following the parameterization of Suter's `daggen`
+    program, as used in the paper (Section 3.1, Table 1).
+
+    Parameters and their semantics:
+
+    - [n] — number of tasks (including the single entry and exit tasks).
+    - [alpha] — upper bound of each task's non-parallelizable fraction;
+      per-task [alpha_i ~ U(0, alpha)].
+    - [width] — controls the DAG's maximum parallelism: the average number
+      of tasks per level is [n ^ width].  Small values yield chain-like
+      DAGs, large values fork-join-like DAGs.
+    - [regularity] — uniformity of level sizes: level sizes are drawn
+      uniformly within [±(1 - regularity)] of the average.
+    - [density] — probability of an edge between tasks of adjacent levels.
+    - [jump] — edges may span up to [jump] levels; [jump = 1] yields a
+      layered DAG.  An edge spanning [k] levels is added with probability
+      [density / k].
+
+    Task sequential times are uniform in [\[60 s, 36 000 s\]] (1 minute to
+    10 hours), as in the paper.
+
+    Every non-entry task is guaranteed at least one predecessor in the
+    previous level and every non-exit task at least one successor, and the
+    whole graph is funnelled through dedicated entry/exit tasks so that the
+    single-entry / single-exit assumption holds by construction. *)
+
+type params = {
+  n : int;
+  alpha : float;
+  width : float;
+  regularity : float;
+  density : float;
+  jump : int;
+}
+
+val default : params
+(** The paper's boldface defaults: [n = 50], [alpha = 0.2], [width = 0.5],
+    [regularity = 0.5], [density = 0.5], [jump = 1]. *)
+
+val table1 : (string * params list) list
+(** The 40 application specifications of Table 1: for each parameter, the
+    list of specs obtained by sweeping that parameter with all others at
+    their default (5 + 4 + 9 + 9 + 9 + 4 entries, keyed by parameter
+    name). *)
+
+val validate : params -> unit
+(** Raises [Invalid_argument] on out-of-range parameters ([n >= 3],
+    [alpha/width/regularity/density] in [(0, 1\]], [jump >= 1]). *)
+
+val generate : Mp_prelude.Rng.t -> params -> Dag.t
+(** Draw a random DAG. *)
+
+val pp_params : Format.formatter -> params -> unit

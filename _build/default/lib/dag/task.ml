@@ -1,0 +1,26 @@
+type t = { id : int; seq : float; alpha : float }
+
+let make ~id ~seq ~alpha =
+  if seq <= 0. then invalid_arg "Task.make: seq <= 0";
+  if alpha < 0. || alpha > 1. then invalid_arg "Task.make: alpha not in [0,1]";
+  { id; seq; alpha }
+
+let exec_time_f t np =
+  if np < 1 then invalid_arg "Task.exec_time: np < 1";
+  t.seq *. (t.alpha +. ((1. -. t.alpha) /. float_of_int np))
+
+let exec_time t np = max 1 (int_of_float (ceil (exec_time_f t np)))
+
+let alloc_candidates t ~max_np =
+  if max_np < 1 then invalid_arg "Task.alloc_candidates: max_np < 1";
+  let rec go np prev acc =
+    if np > max_np then List.rev acc
+    else begin
+      let e = exec_time t np in
+      if e < prev then go (np + 1) e (np :: acc) else go (np + 1) prev acc
+    end
+  in
+  go 1 max_int []
+let work t np = np * exec_time t np
+let speedup t np = exec_time_f t 1 /. exec_time_f t np
+let pp ppf t = Format.fprintf ppf "t%d(seq=%.0fs, a=%.3f)" t.id t.seq t.alpha

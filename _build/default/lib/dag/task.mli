@@ -1,0 +1,40 @@
+(** A moldable (data-parallel) task.
+
+    Following the paper (Section 3.1), a task is fully specified by its
+    sequential execution time [seq] (in seconds) and its non-parallelizable
+    fraction [alpha]; its execution time on [np] processors follows
+    Amdahl's law:
+
+    {[ T(np) = seq * (alpha + (1 - alpha) / np) ]}
+
+    rounded up to a whole second when placed in the calendar. *)
+
+type t = { id : int; seq : float; alpha : float }
+
+val make : id:int -> seq:float -> alpha:float -> t
+(** Raises [Invalid_argument] unless [seq > 0] and [0 <= alpha <= 1]. *)
+
+val exec_time : t -> int -> int
+(** [exec_time t np] is the execution time in whole seconds on [np >= 1]
+    processors (at least 1 s).  Non-increasing in [np]. *)
+
+val exec_time_f : t -> int -> float
+(** Un-rounded Amdahl execution time, used for bottom-level weights. *)
+
+val alloc_candidates : t -> max_np:int -> int list
+(** [alloc_candidates t ~max_np] is the ascending list of processor counts
+    worth trying when placing this task: 1, plus every [np <= max_np]
+    whose (rounded) execution time is strictly below every smaller
+    count's.  Counts inside an Amdahl plateau are dominated by the
+    plateau's first count — same duration, weaker availability
+    requirement — so skipping them provably never changes which
+    ⟨processors, start⟩ pair any of the schedulers picks. *)
+
+val work : t -> int -> int
+(** [np * exec_time t np]: CPU-seconds consumed on [np] processors.
+    Non-decreasing in [np] (Amdahl's diminishing returns). *)
+
+val speedup : t -> int -> float
+(** [exec_time_f t 1 / exec_time_f t np]. *)
+
+val pp : Format.formatter -> t -> unit

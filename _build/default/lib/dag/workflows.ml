@@ -1,0 +1,148 @@
+module Rng = Mp_prelude.Rng
+
+(* Builder state shared by the generators: tasks accumulate in order, so a
+   task's id equals its creation rank. *)
+type builder = {
+  rng : Rng.t;
+  alpha : float;
+  mutable tasks : Task.t list;  (** reversed *)
+  mutable edges : (int * int) list;
+  mutable next : int;
+}
+
+let builder rng alpha = { rng; alpha; tasks = []; edges = []; next = 0 }
+
+let add_task b =
+  let id = b.next in
+  b.next <- id + 1;
+  let seq = Rng.uniform b.rng 60. 36_000. in
+  b.tasks <- Task.make ~id ~seq ~alpha:(Rng.uniform b.rng 0. b.alpha) :: b.tasks;
+  id
+
+let add_edge b i j = b.edges <- (i, j) :: b.edges
+
+let finish b =
+  let tasks = Array.of_list (List.rev b.tasks) in
+  Dag.make tasks b.edges
+
+(* Funnel a set of parentless / childless inner tasks through dedicated
+   entry and exit tasks so the single-entry/exit invariant always holds. *)
+let funnel b =
+  let n = b.next in
+  let has_pred = Array.make n false and has_succ = Array.make n false in
+  List.iter
+    (fun (i, j) ->
+      has_succ.(i) <- true;
+      has_pred.(j) <- true)
+    b.edges;
+  let sources = ref [] and sinks = ref [] in
+  for i = n - 1 downto 0 do
+    if not has_pred.(i) then sources := i :: !sources;
+    if not has_succ.(i) then sinks := i :: !sinks
+  done;
+  (match !sources with
+  | [ _ ] -> ()
+  | many ->
+      let e = add_task b in
+      List.iter (fun s -> add_edge b e s) many);
+  (match !sinks with
+  | [ _ ] -> ()
+  | many ->
+      let x = add_task b in
+      List.iter (fun s -> add_edge b s x) many);
+  finish b
+
+let chain rng ?(alpha = 0.2) ~n () =
+  if n < 2 then invalid_arg "Workflows.chain: n < 2";
+  let b = builder rng alpha in
+  let ids = List.init n (fun _ -> add_task b) in
+  List.iteri (fun k i -> if k > 0 then add_edge b (List.nth ids (k - 1)) i) ids;
+  finish b
+
+let fork_join rng ?(alpha = 0.2) ~branches ~stages () =
+  if branches < 1 || stages < 1 then invalid_arg "Workflows.fork_join";
+  let b = builder rng alpha in
+  let entry = add_task b in
+  let last_sync = ref entry in
+  for _ = 1 to stages do
+    let branch_ids = List.init branches (fun _ -> add_task b) in
+    List.iter (fun i -> add_edge b !last_sync i) branch_ids;
+    let sync = add_task b in
+    List.iter (fun i -> add_edge b i sync) branch_ids;
+    last_sync := sync
+  done;
+  finish b
+
+let fft rng ?(alpha = 0.2) ~m () =
+  if m < 1 || m > 8 then invalid_arg "Workflows.fft: m outside [1, 8]";
+  let width = 1 lsl m in
+  let b = builder rng alpha in
+  (* layer 0 .. m, each of [width] tasks *)
+  let layers =
+    Array.init (m + 1) (fun _ -> Array.init width (fun _ -> add_task b))
+  in
+  for l = 1 to m do
+    let stride = 1 lsl (l - 1) in
+    for i = 0 to width - 1 do
+      add_edge b layers.(l - 1).(i) layers.(l).(i);
+      add_edge b layers.(l - 1).(i lxor stride) layers.(l).(i)
+    done
+  done;
+  funnel b
+
+let strassen rng ?(alpha = 0.2) ~levels () =
+  if levels < 1 || levels > 4 then invalid_arg "Workflows.strassen: levels outside [1, 4]";
+  let b = builder rng alpha in
+  (* returns (root multiply task, combine task) of a sub-multiplication *)
+  let rec multiply depth =
+    let split = add_task b in
+    let combine = add_task b in
+    if depth = 0 then add_edge b split combine
+    else
+      for _ = 1 to 7 do
+        let sub_split, sub_combine = multiply (depth - 1) in
+        add_edge b split sub_split;
+        add_edge b sub_combine combine
+      done;
+    (split, combine)
+  in
+  let (_ : int * int) = multiply (levels - 1) in
+  funnel b
+
+let gaussian rng ?(alpha = 0.2) ~n () =
+  if n < 2 then invalid_arg "Workflows.gaussian: n < 2";
+  let b = builder rng alpha in
+  (* pivots.(k) and updates.(k).(j) for j > k *)
+  let pivots = Array.init (n - 1) (fun _ -> add_task b) in
+  let updates = Array.make_matrix (n - 1) n (-1) in
+  for k = 0 to n - 2 do
+    for j = k + 1 to n - 1 do
+      updates.(k).(j) <- add_task b;
+      add_edge b pivots.(k) updates.(k).(j);
+      if k > 0 then add_edge b updates.(k - 1).(j) updates.(k).(j)
+    done;
+    if k > 0 then add_edge b updates.(k - 1).(k) pivots.(k)
+  done;
+  funnel b
+
+let wavefront rng ?(alpha = 0.2) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Workflows.wavefront";
+  let b = builder rng alpha in
+  let grid = Array.init rows (fun _ -> Array.init cols (fun _ -> add_task b)) in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if i > 0 then add_edge b grid.(i - 1).(j) grid.(i).(j);
+      if j > 0 then add_edge b grid.(i).(j - 1) grid.(i).(j)
+    done
+  done;
+  funnel b
+
+let all_named rng =
+  [
+    ("chain-10", chain (Rng.split rng) ~n:10 ());
+    ("fork-join-6x4", fork_join (Rng.split rng) ~branches:6 ~stages:4 ());
+    ("fft-16", fft (Rng.split rng) ~m:4 ());
+    ("strassen-2", strassen (Rng.split rng) ~levels:2 ());
+    ("gaussian-8", gaussian (Rng.split rng) ~n:8 ());
+    ("wavefront-5x5", wavefront (Rng.split rng) ~rows:5 ~cols:5 ());
+  ]

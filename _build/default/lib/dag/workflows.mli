@@ -1,0 +1,42 @@
+(** Classic parametric task graphs from the mixed-parallel scheduling
+    literature, usable wherever a random {!Dag_gen} DAG is: Strassen
+    matrix multiplication, FFT butterflies, Gaussian elimination,
+    wavefront sweeps, fork-join pipelines.
+
+    These structured shapes complement the random generator in examples
+    and ablations, and stress schedulers differently (regular wide levels,
+    long diagonals, shrinking parallelism).  Task sequential times are
+    drawn uniformly from [\[60 s, 36 000 s\]] and Amdahl fractions from
+    [\[0, alpha\]] (default 0.2), matching the paper's application model;
+    every generator produces a single-entry/single-exit DAG. *)
+
+val chain : Mp_prelude.Rng.t -> ?alpha:float -> n:int -> unit -> Dag.t
+(** A linear pipeline of [n >= 2] tasks: no task parallelism at all. *)
+
+val fork_join : Mp_prelude.Rng.t -> ?alpha:float -> branches:int -> stages:int -> unit -> Dag.t
+(** [stages] successive parallel sections of [branches] independent tasks,
+    separated by synchronization tasks (the bulk-synchronous pattern). *)
+
+val fft : Mp_prelude.Rng.t -> ?alpha:float -> m:int -> unit -> Dag.t
+(** The radix-2 FFT butterfly on [2^m] points: [m] full layers of [2^m]
+    tasks each, every task depending on its own and its butterfly
+    partner's predecessor ([1 <= m <= 8]). *)
+
+val strassen : Mp_prelude.Rng.t -> ?alpha:float -> levels:int -> unit -> Dag.t
+(** Strassen matrix multiplication unrolled [levels] deep: each multiply
+    spawns 7 sub-multiplies whose results feed a combine task
+    ([1 <= levels <= 4]; level [l] contributes [7^l] multiply tasks). *)
+
+val gaussian : Mp_prelude.Rng.t -> ?alpha:float -> n:int -> unit -> Dag.t
+(** Gaussian elimination on an [n x n] matrix ([n >= 2]): column pivots
+    followed by trailing-column updates, with parallelism shrinking as the
+    elimination proceeds. *)
+
+val wavefront : Mp_prelude.Rng.t -> ?alpha:float -> rows:int -> cols:int -> unit -> Dag.t
+(** A [rows x cols] dependency grid — cell (i, j) waits for (i-1, j) and
+    (i, j-1) — as in dynamic-programming and LU sweeps; parallelism grows
+    then shrinks along anti-diagonals. *)
+
+val all_named : Mp_prelude.Rng.t -> (string * Dag.t) list
+(** A representative instance of each shape (for examples and smoke
+    tests). *)

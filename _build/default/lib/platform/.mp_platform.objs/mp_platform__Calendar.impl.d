@@ -1,0 +1,1 @@
+lib/platform/calendar.ml: Array Format Int Lazy List Map Reservation Seq

@@ -1,0 +1,1 @@
+lib/platform/calendar.mli: Format Reservation

@@ -1,0 +1,1 @@
+lib/platform/grid.ml: Array Calendar Float Format List

@@ -1,0 +1,1 @@
+lib/platform/probe.ml: Calendar Reservation

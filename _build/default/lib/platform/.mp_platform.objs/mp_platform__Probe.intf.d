@@ -1,0 +1,1 @@
+lib/platform/probe.mli: Calendar Reservation

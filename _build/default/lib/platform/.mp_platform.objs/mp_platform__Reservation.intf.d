@@ -1,0 +1,1 @@
+lib/platform/reservation.mli: Format

@@ -1,0 +1,343 @@
+module Imap = Map.Make (Int)
+
+(* [steps] maps a breakpoint time to the number of available processors
+   from that time (inclusive) until the next breakpoint.  Invariants:
+   - there is always a breakpoint at [min_int] (so lookups never miss);
+   - values lie in [0, procs];
+   - the value of the last breakpoint extends to +infinity.
+
+   [bps] is a lazily materialized array view of [steps] (times and values
+   in ascending order).  The fit queries are the hot path of the
+   scheduling algorithms — hundreds of calls against the same calendar
+   version — and scanning a flat array is an order of magnitude cheaper
+   than walking the map.  But bulk construction (the batch simulator
+   reserves tens of thousands of jobs, querying each version exactly
+   once) must not rebuild an O(R) array per version, so the array is only
+   materialized once a version has answered a few queries; before that,
+   queries walk the map. *)
+type t = {
+  procs : int;
+  steps : int Imap.t;
+  bps : (int array * int array) Lazy.t;
+  mutable queries : int;
+}
+
+exception Overcommitted of Reservation.t
+
+let force_threshold = 3
+
+let mk procs steps =
+  {
+    procs;
+    steps;
+    queries = 0;
+    bps =
+      lazy
+        (let n = Imap.cardinal steps in
+         let ts = Array.make n 0 and vs = Array.make n 0 in
+         let i = ref 0 in
+         Imap.iter
+           (fun time v ->
+             ts.(!i) <- time;
+             vs.(!i) <- v;
+             incr i)
+           steps;
+         (ts, vs));
+  }
+
+(* The array view, if this calendar version is hot enough to warrant it. *)
+let arrays t =
+  if Lazy.is_val t.bps then Some (Lazy.force t.bps)
+  else begin
+    t.queries <- t.queries + 1;
+    if t.queries > force_threshold then Some (Lazy.force t.bps) else None
+  end
+
+let create ~procs =
+  if procs <= 0 then invalid_arg "Calendar.create: procs <= 0";
+  mk procs (Imap.singleton min_int procs)
+
+let procs t = t.procs
+let breakpoints t = Imap.cardinal t.steps
+
+(* Index of the segment containing [time]: greatest i with ts.(i) <= time.
+   Always defined thanks to the min_int sentinel. *)
+let seg_index ts time =
+  let lo = ref 0 and hi = ref (Array.length ts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if ts.(mid) <= time then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let value_before_or_at steps time =
+  match Imap.find_last (fun k -> k <= time) steps with
+  | _, v -> v
+  | exception Not_found -> assert false (* min_int breakpoint always present *)
+
+let available_at t time =
+  match arrays t with
+  | Some (ts, vs) -> vs.(seg_index ts time)
+  | None -> value_before_or_at t.steps time
+
+(* Ensure a breakpoint exists exactly at [time] (same value as the segment
+   containing it), so that a following range update can stop cleanly. *)
+let cut steps time =
+  if time = min_int || Imap.mem time steps then steps
+  else Imap.add time (value_before_or_at steps time) steps
+
+(* Map-based fold: never forces the array (used by construction-time
+   checks). *)
+let fold_segments t ~from_ ~until ~init ~f =
+  if from_ >= until then init
+  else begin
+    let v0 = value_before_or_at t.steps from_ in
+    let seq = Imap.to_seq_from (from_ + 1) t.steps in
+    let rec go acc seg_start seg_val seq =
+      match seq () with
+      | Seq.Nil -> f acc ~start:seg_start ~finish:until ~avail:seg_val
+      | Seq.Cons ((time, v), rest) ->
+          if time >= until then f acc ~start:seg_start ~finish:until ~avail:seg_val
+          else begin
+            let acc = f acc ~start:seg_start ~finish:time ~avail:seg_val in
+            go acc time v rest
+          end
+    in
+    go init from_ v0 seq
+  end
+
+let segments t ~from_ ~until =
+  List.rev
+    (fold_segments t ~from_ ~until ~init:[] ~f:(fun acc ~start ~finish ~avail ->
+         (start, finish, avail) :: acc))
+
+let min_available t ~from_ ~until =
+  if from_ >= until then invalid_arg "Calendar.min_available: empty window";
+  fold_segments t ~from_ ~until ~init:t.procs ~f:(fun acc ~start:_ ~finish:_ ~avail ->
+      min acc avail)
+
+let average_available t ~from_ ~until =
+  if from_ >= until then invalid_arg "Calendar.average_available: empty window";
+  let total =
+    fold_segments t ~from_ ~until ~init:0. ~f:(fun acc ~start ~finish ~avail ->
+        acc +. (float_of_int avail *. float_of_int (finish - start)))
+  in
+  total /. float_of_int (until - from_)
+
+let can_reserve t (r : Reservation.t) =
+  r.procs <= min_available t ~from_:r.start ~until:r.finish
+
+(* Breakpoints of [steps] within [start, finish), as (time, value) pairs in
+   descending order. *)
+let affected_breakpoints steps ~start ~finish =
+  let rec collect acc seq =
+    match seq () with
+    | Seq.Nil -> acc
+    | Seq.Cons ((time, v), rest) -> if time >= finish then acc else collect ((time, v) :: acc) rest
+  in
+  collect [] (Imap.to_seq_from start steps)
+
+let reserve t (r : Reservation.t) =
+  if not (can_reserve t r) then raise (Overcommitted r);
+  let steps = cut (cut t.steps r.start) r.finish in
+  (* Only breakpoints inside [start, finish) change, so touch just those
+     (a calendar holds thousands of breakpoints; a reservation overlaps a
+     handful). *)
+  let affected = affected_breakpoints steps ~start:r.start ~finish:r.finish in
+  let steps =
+    List.fold_left (fun m (time, v) -> Imap.add time (v - r.procs) m) steps affected
+  in
+  mk t.procs steps
+
+let reserve_opt t r = if can_reserve t r then Some (reserve t r) else None
+
+let release t (r : Reservation.t) =
+  (* Inverse of [reserve]: only valid for a reservation previously
+     subtracted, which the capacity check enforces. *)
+  let steps = cut (cut t.steps r.start) r.finish in
+  let affected = affected_breakpoints steps ~start:r.start ~finish:r.finish in
+  List.iter
+    (fun (_, v) ->
+      if v + r.procs > t.procs then
+        invalid_arg "Calendar.release: reservation was not held on this calendar")
+    affected;
+  let steps =
+    List.fold_left (fun m (time, v) -> Imap.add time (v + r.procs) m) steps affected
+  in
+  mk t.procs steps
+
+let of_reservations ~procs rs =
+  List.fold_left reserve (create ~procs) (List.sort Reservation.compare_by_start rs)
+
+(* --- earliest_fit ----------------------------------------------------- *)
+
+(* Candidate starts only need to be considered at [after] and at segment
+   boundaries where availability rises; on failure the candidate jumps past
+   the blocking breakpoint, so the scan visits each breakpoint at most
+   once: O(R). *)
+
+let earliest_fit_arrays (ts, vs) ~after ~procs ~dur =
+  let n = Array.length ts in
+  (* from segment index [i] with candidate start [s] (s inside segment i),
+     either the window [s, s+dur) is clear, or restart past the first
+     blocking segment *)
+  let rec attempt i s =
+    if vs.(i) < procs then begin
+      let rec next j = if j >= n then None else if vs.(j) >= procs then Some j else next (j + 1) in
+      match next (i + 1) with None -> None | Some j -> attempt j ts.(j)
+    end
+    else begin
+      let limit = s + dur in
+      let rec scan j =
+        if j >= n || ts.(j) >= limit then Some s
+        else if vs.(j) < procs then attempt j ts.(j)
+        else scan (j + 1)
+      in
+      scan (i + 1)
+    end
+  in
+  attempt (seg_index ts after) after
+
+let earliest_fit_map steps ~after ~procs ~dur =
+  (* Smallest time >= s with availability >= procs; None if availability
+     stays below procs through the final, unbounded segment. *)
+  let next_clear s =
+    if value_before_or_at steps s >= procs then Some s
+    else begin
+      let rec go seq =
+        match seq () with
+        | Seq.Nil -> None
+        | Seq.Cons ((time, v), rest) -> if v >= procs then Some time else go rest
+      in
+      go (Imap.to_seq_from (s + 1) steps)
+    end
+  in
+  let first_block s limit =
+    let rec go seq =
+      match seq () with
+      | Seq.Nil -> None
+      | Seq.Cons ((time, v), rest) ->
+          if time >= limit then None else if v < procs then Some time else go rest
+    in
+    go (Imap.to_seq_from (s + 1) steps)
+  in
+  let rec search s =
+    match next_clear s with
+    | None -> None
+    | Some s -> ( match first_block s (s + dur) with None -> Some s | Some b -> search b)
+  in
+  search after
+
+let earliest_fit t ~after ~procs ~dur =
+  if procs < 1 then invalid_arg "Calendar.earliest_fit: procs < 1";
+  if dur < 1 then invalid_arg "Calendar.earliest_fit: dur < 1";
+  if procs > t.procs then None
+  else begin
+    match arrays t with
+    | Some arr -> earliest_fit_arrays arr ~after ~procs ~dur
+    | None -> earliest_fit_map t.steps ~after ~procs ~dur
+  end
+
+(* --- latest_fit ------------------------------------------------------- *)
+
+let latest_fit_arrays (ts, vs) ~earliest ~finish_by ~procs ~dur =
+  (* Scan segments backward from the one containing [finish_by - 1],
+     maintaining [finish_limit], the latest possible window end given the
+     blocked segments seen so far; the invariant is that
+     [ts.(i+1), finish_limit) is clear. *)
+  let rec scan i finish_limit =
+    if finish_limit - dur < earliest then None
+    else if vs.(i) >= procs then begin
+      let s = finish_limit - dur in
+      if s >= ts.(i) then Some s else if i = 0 then Some s else scan (i - 1) finish_limit
+    end
+    else if i = 0 then None
+    else scan (i - 1) ts.(i)
+  in
+  scan (seg_index ts (finish_by - 1)) finish_by
+
+let latest_fit_map t ~earliest ~finish_by ~procs ~dur =
+  let segs = segments t ~from_:(min earliest (finish_by - dur)) ~until:finish_by in
+  let rec scan finish_limit = function
+    | [] ->
+        let s = finish_limit - dur in
+        if s >= earliest then Some s else None
+    | (seg_start, _, avail) :: rest ->
+        if seg_start >= finish_limit then scan finish_limit rest
+        else if avail >= procs then begin
+          let s = finish_limit - dur in
+          if s >= seg_start then if s >= earliest then Some s else None
+          else scan finish_limit rest
+        end
+        else begin
+          let finish_limit = seg_start in
+          if finish_limit - dur < earliest then None else scan finish_limit rest
+        end
+  in
+  scan finish_by (List.rev segs)
+
+let latest_fit t ~earliest ~finish_by ~procs ~dur =
+  if procs < 1 then invalid_arg "Calendar.latest_fit: procs < 1";
+  if dur < 1 then invalid_arg "Calendar.latest_fit: dur < 1";
+  if procs > t.procs then None
+  else if finish_by - dur < earliest then None
+  else begin
+    match arrays t with
+    | Some arr -> latest_fit_arrays arr ~earliest ~finish_by ~procs ~dur
+    | None -> latest_fit_map t ~earliest ~finish_by ~procs ~dur
+  end
+
+let busy_rectangles t ~from_ ~until =
+  if from_ >= until then invalid_arg "Calendar.busy_rectangles: empty window";
+  (* Sweep the segments keeping a stack of open rectangles; busy-level
+     increases open rectangles, decreases close the most recent ones
+     (their processor counts split as needed). *)
+  let open_stack = ref [] (* (start, procs) most recent first *) in
+  let finished = ref [] in
+  let close_until time target =
+    (* shrink the stack so that its total equals [target] *)
+    let rec go () =
+      let total = List.fold_left (fun acc (_, p) -> acc + p) 0 !open_stack in
+      if total > target then begin
+        match !open_stack with
+        | [] -> assert false
+        | (start, p) :: rest ->
+            let excess = total - target in
+            if p <= excess then begin
+              open_stack := rest;
+              finished := Reservation.make ~start ~finish:time ~procs:p :: !finished;
+              go ()
+            end
+            else begin
+              open_stack := (start, p - excess) :: rest;
+              finished := Reservation.make ~start ~finish:time ~procs:excess :: !finished
+            end
+      end
+    in
+    go ()
+  in
+  let current_busy () = List.fold_left (fun acc (_, p) -> acc + p) 0 !open_stack in
+  fold_segments t ~from_ ~until ~init:() ~f:(fun () ~start ~finish:_ ~avail ->
+      let busy = t.procs - avail in
+      let cur = current_busy () in
+      if busy > cur then open_stack := (start, busy - cur) :: !open_stack
+      else if busy < cur then close_until start busy);
+  close_until until 0;
+  List.rev !finished
+
+let busy_series t ~from_ ~until ~step =
+  if step <= 0 then invalid_arg "Calendar.busy_series: step <= 0";
+  let rec go acc time =
+    if time >= until then List.rev acc
+    else go (float_of_int (t.procs - available_at t time) :: acc) (time + step)
+  in
+  go [] from_
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>calendar p=%d@," t.procs;
+  Imap.iter
+    (fun time v ->
+      if time <> min_int then Format.fprintf ppf "  @%d -> %d@," time v
+      else Format.fprintf ppf "  @-inf -> %d@," v)
+    t.steps;
+  Format.fprintf ppf "@]"

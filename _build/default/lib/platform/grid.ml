@@ -1,0 +1,48 @@
+type site = { name : string; procs : int; speed : float }
+
+type t = { sites : site array; calendars : Calendar.t array }
+
+let make specs =
+  if specs = [] then invalid_arg "Grid.make: no sites";
+  let sites = Array.of_list (List.map fst specs) in
+  Array.iter
+    (fun s ->
+      if s.speed <= 0. then invalid_arg "Grid.make: speed <= 0";
+      if s.procs <= 0 then invalid_arg "Grid.make: procs <= 0")
+    sites;
+  let calendars =
+    Array.of_list
+      (List.map (fun (s, rs) -> Calendar.of_reservations ~procs:s.procs rs) specs)
+  in
+  { sites; calendars }
+
+let n_sites t = Array.length t.sites
+let site t i = t.sites.(i)
+let calendar t i = t.calendars.(i)
+let total_procs t = Array.fold_left (fun acc s -> acc + s.procs) 0 t.sites
+
+let reserve t ~site r =
+  let calendars = Array.copy t.calendars in
+  calendars.(site) <- Calendar.reserve calendars.(site) r;
+  { t with calendars }
+
+let scale_duration t ~site d =
+  max 1 (int_of_float (ceil (d /. t.sites.(site).speed)))
+
+let reference_procs t =
+  let weighted =
+    Array.fold_left (fun acc s -> acc +. (float_of_int s.procs *. s.speed)) 0. t.sites
+  in
+  max 1 (int_of_float (Float.round weighted))
+
+let average_available t ~site ~from_ ~until =
+  Calendar.average_available t.calendars.(site) ~from_ ~until
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>grid (%d sites)@," (Array.length t.sites);
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf "  %s: %d procs, speed %.2f, %d breakpoints@," s.name s.procs s.speed
+        (Calendar.breakpoints t.calendars.(i)))
+    t.sites;
+  Format.fprintf ppf "@]"

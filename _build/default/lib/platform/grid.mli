@@ -1,0 +1,51 @@
+(** A multi-cluster (grid) platform: several homogeneous clusters, each
+    with its own size, relative speed, and reservation calendar.
+
+    The paper restricts its study to a single homogeneous cluster and
+    names "heterogeneous multi-grid platforms" as its main future
+    direction (Section 7), pointing at the heterogeneous mixed-parallel
+    scheduling of N'Takpé, Suter & Casanova (ISPDC'07) as the starting
+    point.  This module provides the platform substrate for that
+    extension; the scheduling logic lives in [Mp_core.Hressched].
+
+    Speeds are relative execution rates: a task's execution time on a
+    site is its homogeneous-model time divided by the site's [speed].
+    Sites are identified by their index. *)
+
+type site = {
+  name : string;
+  procs : int;  (** processors of this cluster *)
+  speed : float;  (** relative execution rate, > 0; 1.0 = reference *)
+}
+
+type t
+
+val make : (site * Reservation.t list) list -> t
+(** Build a grid from sites and their existing (competing) reservations.
+    Raises [Invalid_argument] on an empty list, non-positive speed, or an
+    infeasible reservation list. *)
+
+val n_sites : t -> int
+val site : t -> int -> site
+val calendar : t -> int -> Calendar.t
+
+val total_procs : t -> int
+
+val reserve : t -> site:int -> Reservation.t -> t
+(** Persistent update of one site's calendar.
+    @raise Calendar.Overcommitted when the site lacks capacity. *)
+
+val scale_duration : t -> site:int -> float -> int
+(** [scale_duration t ~site d] converts a homogeneous-model duration [d]
+    (seconds, un-rounded) into this site's duration: [d / speed], rounded
+    up, at least 1 s. *)
+
+val reference_procs : t -> int
+(** Size of the {e reference cluster} used by HCPA-style allocation: the
+    grid's total processor count scaled by each site's speed (so a site
+    twice as fast counts double), rounded. *)
+
+val average_available : t -> site:int -> from_:int -> until:int -> float
+(** Per-site availability average (see {!Calendar.average_available}). *)
+
+val pp : Format.formatter -> t -> unit

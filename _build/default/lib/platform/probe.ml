@@ -1,0 +1,36 @@
+type t = {
+  mutable calendar : Calendar.t;
+  mutable n_probes : int;
+  mutable granted : Reservation.t list;
+}
+
+type response = Granted | Rejected of int option
+
+let create calendar = { calendar; n_probes = 0; granted = [] }
+
+let request t ~start ~dur ~procs =
+  t.n_probes <- t.n_probes + 1;
+  if start < 0 || dur < 1 || procs < 1 then Rejected None
+  else if procs > Calendar.procs t.calendar then Rejected None
+  else begin
+    let r = Reservation.make ~start ~finish:(start + dur) ~procs in
+    match Calendar.reserve_opt t.calendar r with
+    | Some calendar ->
+        t.calendar <- calendar;
+        t.granted <- r :: t.granted;
+        Granted
+    | None -> Rejected (Calendar.earliest_fit t.calendar ~after:start ~procs ~dur)
+  end
+
+let cancel t (r : Reservation.t) =
+  let rec remove = function
+    | [] -> invalid_arg "Probe.cancel: reservation was not granted"
+    | r' :: rest when r' = r -> rest
+    | r' :: rest -> r' :: remove rest
+  in
+  t.granted <- remove t.granted;
+  t.calendar <- Calendar.release t.calendar r
+
+let probes t = t.n_probes
+let granted t = t.granted
+let reveal t = t.calendar

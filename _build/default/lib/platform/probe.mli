@@ -1,0 +1,46 @@
+(** Limited-visibility reservation interface.
+
+    The paper assumes the application scheduler sees the whole reservation
+    calendar (Section 3.2.2) and notes that, when administrators disable
+    that feature, "the application schedule would have to be determined
+    via (a bounded number of) trial-and-error reservation requests for
+    each application task".  This module provides exactly that interface:
+    a facade over a hidden {!Calendar.t} that only answers reservation
+    requests — granting them, or rejecting them with the earliest feasible
+    alternative start (the behaviour of e.g. Maui's [showres]/[setres]
+    pair or PBS Pro's reservation confirmation).
+
+    The facade counts probes, so experiments can charge the
+    trial-and-error scheduler for its interactions (see
+    [Mp_core.Blind]). *)
+
+type t
+
+type response =
+  | Granted
+      (** the reservation was placed; the hidden calendar is updated *)
+  | Rejected of int option
+      (** insufficient availability; carries the earliest start time at or
+          after the requested one at which the request would currently
+          succeed, if any *)
+
+val create : Calendar.t -> t
+(** Wrap a calendar.  The facade is imperative: granted requests update
+    the hidden state. *)
+
+val request : t -> start:int -> dur:int -> procs:int -> response
+(** Ask for [procs] processors over [\[start, start + dur)]. *)
+
+val cancel : t -> Reservation.t -> unit
+(** Release a previously granted reservation (reservation systems let
+    holders cancel).  Raises [Invalid_argument] if it was not granted. *)
+
+val probes : t -> int
+(** Number of {!request} calls made so far (granted or not). *)
+
+val granted : t -> Reservation.t list
+(** Reservations granted so far, most recent first. *)
+
+val reveal : t -> Calendar.t
+(** The hidden calendar's current state — for validation in tests and
+    experiments only; a real system would not expose it. *)

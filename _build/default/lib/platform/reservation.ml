@@ -1,0 +1,25 @@
+type t = { start : int; finish : int; procs : int }
+
+let make ~start ~finish ~procs =
+  if start >= finish then invalid_arg "Reservation.make: start >= finish";
+  if procs <= 0 then invalid_arg "Reservation.make: procs <= 0";
+  { start; finish; procs }
+
+let duration r = r.finish - r.start
+let cpu_seconds r = r.procs * duration r
+let cpu_hours r = float_of_int (cpu_seconds r) /. 3600.
+let overlaps a b = a.start < b.finish && b.start < a.finish
+
+let clip r ~from_ =
+  if r.finish <= from_ then None
+  else if r.start >= from_ then Some r
+  else Some { r with start = from_ }
+
+let shift r dt = { r with start = r.start + dt; finish = r.finish + dt }
+
+let compare_by_start a b =
+  match compare a.start b.start with
+  | 0 -> ( match compare a.finish b.finish with 0 -> compare a.procs b.procs | c -> c)
+  | c -> c
+
+let pp ppf r = Format.fprintf ppf "[%d, %d)x%d" r.start r.finish r.procs

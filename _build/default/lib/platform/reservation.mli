@@ -1,0 +1,38 @@
+(** An advance reservation: a number of processors held during a half-open
+    time interval [\[start, finish)].
+
+    Times are integer seconds.  The origin (time 0) is the instant at which
+    the application scheduler runs ("now" in the paper); reservations from
+    competing users may start in the past (negative [start]) as long as they
+    are still active, and application-task reservations always start at or
+    after 0. *)
+
+type t = { start : int; finish : int; procs : int }
+
+val make : start:int -> finish:int -> procs:int -> t
+(** [make ~start ~finish ~procs] builds a reservation.  Raises
+    [Invalid_argument] unless [start < finish] and [procs > 0]. *)
+
+val duration : t -> int
+(** [finish - start]. *)
+
+val cpu_seconds : t -> int
+(** [procs * duration]. *)
+
+val cpu_hours : t -> float
+(** CPU-hours consumed: [procs * duration / 3600]. *)
+
+val overlaps : t -> t -> bool
+(** Whether the two time intervals intersect (processor counts ignored). *)
+
+val clip : t -> from_:int -> t option
+(** [clip r ~from_] restricts [r] to times at or after [from_]; [None] if the
+    reservation ends at or before [from_]. *)
+
+val shift : t -> int -> t
+(** [shift r dt] translates the reservation in time by [dt]. *)
+
+val compare_by_start : t -> t -> int
+(** Ordering by start time, then finish, then processor count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.mul (Int64.of_int seed) 0x2545F4914F6CDD1DL }
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* The modulo bias is at most n / 2^63, negligible for simulation bounds. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1) (Int64.of_int n))
+
+let float01 t =
+  Int64.to_float (Int64.shift_right_logical (int64 t) 11) *. 0x1.0p-53
+
+let float t x = float01 t *. x
+
+let uniform t a b =
+  if a > b then invalid_arg "Rng.uniform: a > b";
+  a +. (float01 t *. (b -. a))
+
+let uniform_int t a b =
+  if a > b then invalid_arg "Rng.uniform_int: a > b";
+  a + int t (b - a + 1)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = float01 t < p
+
+let exponential t mean =
+  let u = 1. -. float01 t in
+  -.mean *. log u
+
+let normal t ~mu ~sigma =
+  let u1 = 1. -. float01 t and u2 = float01 t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t a =
+  if Array.length a = 0 then invalid_arg "Rng.sample: empty array";
+  a.(int t (Array.length a))
+
+let choose t n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.choose";
+  let idx = Array.init n (fun i -> i) in
+  shuffle t idx;
+  Array.to_list (Array.sub idx 0 k)

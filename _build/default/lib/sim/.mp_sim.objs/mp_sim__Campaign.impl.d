@@ -1,0 +1,1 @@
+lib/sim/campaign.ml: List Mp_core Mp_cpa Mp_dag Mp_platform

@@ -1,0 +1,1 @@
+lib/sim/campaign.mli: Mp_core Mp_cpa Mp_dag Mp_platform

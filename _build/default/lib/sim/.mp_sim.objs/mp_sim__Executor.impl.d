@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Array Float Fun List Mp_cpa Mp_dag Mp_prelude

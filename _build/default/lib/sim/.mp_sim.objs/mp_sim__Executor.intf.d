@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Mp_cpa Mp_dag Mp_prelude

@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Float Format Hashtbl Instance List Logcache Logs Metrics Mp_core Mp_cpa Mp_dag Mp_platform Mp_prelude Mp_workload Option Printf Report Runner Scenario Sys

@@ -1,0 +1,1 @@
+lib/sim/instance.ml: Hashtbl List Logcache Mp_core Mp_dag Mp_prelude Mp_workload Scenario

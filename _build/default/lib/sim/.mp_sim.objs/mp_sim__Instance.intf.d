@@ -1,0 +1,1 @@
+lib/sim/instance.mli: Mp_core Mp_dag Scenario

@@ -1,0 +1,1 @@
+lib/sim/logcache.ml: Hashtbl Mp_prelude Mp_workload

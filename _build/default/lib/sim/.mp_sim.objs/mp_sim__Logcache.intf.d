@@ -1,0 +1,1 @@
+lib/sim/logcache.mli: Mp_workload

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Instance List Metrics Mp_core Mp_cpa Printf

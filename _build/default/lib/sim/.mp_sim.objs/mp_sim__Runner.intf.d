@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Instance Metrics Mp_core

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array List Mp_dag Mp_workload Printf

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Mp_dag Mp_workload

@@ -1,0 +1,59 @@
+module Dag = Mp_dag.Dag
+module Schedule = Mp_cpa.Schedule
+module Rng = Mp_prelude.Rng
+
+type outcome = {
+  finished : bool array;
+  killed : int list;
+  skipped : int list;
+  realized_turnaround : int;
+  billed_cpu_hours : float;
+  used_cpu_hours : float;
+}
+
+let success o = Array.for_all Fun.id o.finished
+
+let waste o =
+  if o.billed_cpu_hours <= 0. then 0. else 1. -. (o.used_cpu_hours /. o.billed_cpu_hours)
+
+let run dag sched ~actual =
+  let nb = Dag.n dag in
+  let finished = Array.make nb false in
+  let killed = ref [] and skipped = ref [] in
+  let used = ref 0. in
+  let turnaround = ref 0 in
+  (* topological order: predecessors decided first *)
+  Array.iter
+    (fun i ->
+      let slot = Schedule.slot sched i in
+      let preds_ok = Array.for_all (fun j -> finished.(j)) (Dag.preds dag i) in
+      if not preds_ok then skipped := i :: !skipped
+      else begin
+        let d = actual i in
+        if d < 1 then invalid_arg "Executor.run: actual duration < 1";
+        if slot.start + d > slot.finish then killed := i :: !killed
+        else begin
+          finished.(i) <- true;
+          used := !used +. (float_of_int (slot.procs * d) /. 3600.);
+          turnaround := max !turnaround (slot.start + d)
+        end
+      end)
+    (Dag.topological_order dag);
+  {
+    finished;
+    killed = List.rev !killed;
+    skipped = List.rev !skipped;
+    realized_turnaround = !turnaround;
+    billed_cpu_hours = Schedule.cpu_hours sched;
+    used_cpu_hours = !used;
+  }
+
+let with_estimation_error rng dag sched ~factor =
+  if factor < 1. then invalid_arg "Executor.with_estimation_error: factor < 1";
+  let actual i =
+    let slot = Schedule.slot sched i in
+    let reserved = slot.finish - slot.start in
+    let lo = Float.max 1. (float_of_int reserved /. factor) in
+    max 1 (int_of_float (Rng.uniform rng lo (float_of_int reserved)))
+  in
+  run dag sched ~actual

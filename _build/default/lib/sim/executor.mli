@@ -1,0 +1,42 @@
+(** Execution replay of a reservation-based schedule.
+
+    Under advance reservations, a task occupies exactly its reserved slot:
+    it starts at the reservation's start (its inputs were staged to disk
+    by then — the paper's file-based communication model) and the
+    processors are billed until the reservation's end even if the task
+    finishes early.  A task whose {e actual} duration exceeds its
+    reservation is killed by the resource manager, and every transitive
+    successor is lost with it.
+
+    This module replays a schedule against actual durations, yielding the
+    realized metrics that the scheduling-time metrics approximate — in
+    particular the waste induced by pessimistic run-time estimates
+    (Section 3.1's out-of-scope discussion, quantified by the [estimates]
+    ablation). *)
+
+type outcome = {
+  finished : bool array;  (** task ran to completion in its reservation *)
+  killed : int list;  (** tasks whose actual duration overran the slot *)
+  skipped : int list;  (** tasks not run because a predecessor failed *)
+  realized_turnaround : int;
+      (** latest {e actual} completion over the finished tasks (0 if none) *)
+  billed_cpu_hours : float;  (** full reservations, failed or not *)
+  used_cpu_hours : float;  (** processors × actual computing time *)
+}
+
+val success : outcome -> bool
+(** All tasks finished. *)
+
+val waste : outcome -> float
+(** [1 - used / billed] — the fraction of billed CPU time left idle. *)
+
+val run : Mp_dag.Dag.t -> Mp_cpa.Schedule.t -> actual:(int -> int) -> outcome
+(** [run dag sched ~actual] replays the schedule; [actual i] is task [i]'s
+    true duration (seconds, >= 1) on its reserved processor count. *)
+
+val with_estimation_error :
+  Mp_prelude.Rng.t -> Mp_dag.Dag.t -> Mp_cpa.Schedule.t -> factor:float -> outcome
+(** Replay with actual durations drawn uniformly from
+    [\[reserved / factor, reserved\]]: the schedule was built from
+    estimates up to [factor] times pessimistic ([factor >= 1]); no task is
+    killed, and the outcome quantifies the resulting waste. *)

@@ -1,0 +1,48 @@
+module Rng = Mp_prelude.Rng
+module Dag_gen = Mp_dag.Dag_gen
+module Reservation_gen = Mp_workload.Reservation_gen
+module Env = Mp_core.Env
+
+type t = {
+  dag : Mp_dag.Dag.t;
+  env : Env.t;
+  app_label : string;
+  res_label : string;
+}
+
+let env_of_resgen (rg : Reservation_gen.t) =
+  Env.make ~calendar:(Reservation_gen.calendar rg) ~q:(Reservation_gen.historical_average rg)
+
+let cross ~app_label ~res_label dags envs =
+  List.concat_map (fun env -> List.map (fun dag -> { dag; env; app_label; res_label }) dags) envs
+
+let dags_of rng (app : Scenario.app_spec) n_dags =
+  List.init n_dags (fun _ -> Dag_gen.generate rng app.params)
+
+let synthetic ~seed ~(app : Scenario.app_spec) ~(res : Scenario.res_spec) ~n_dags ~n_cals =
+  let rng = Rng.create (Hashtbl.hash (seed, app.label, Scenario.res_label res)) in
+  let jobs = Logcache.jobs ~seed res.log in
+  let dags = dags_of rng app n_dags in
+  let envs =
+    List.init n_cals (fun _ ->
+        let at = Reservation_gen.random_instant rng jobs in
+        let tagged = Reservation_gen.tag rng ~phi:res.phi jobs in
+        env_of_resgen
+          (Reservation_gen.extract rng res.method_ ~procs:res.log.Mp_workload.Log_model.cpus ~at
+             tagged))
+  in
+  cross ~app_label:app.label ~res_label:(Scenario.res_label res) dags envs
+
+let grid5000 ~seed ~(app : Scenario.app_spec) ~n_dags ~n_cals =
+  let rng = Rng.create (Hashtbl.hash (seed, app.label, "grid5000")) in
+  let g = Logcache.grid5000 ~seed in
+  let dags = dags_of rng app n_dags in
+  let envs =
+    List.init n_cals (fun _ ->
+        let at = Reservation_gen.random_instant rng g.Mp_workload.Grid5000.jobs in
+        (* The log is a reservation log: keep everything known at T. *)
+        env_of_resgen
+          (Reservation_gen.extract rng Reservation_gen.Real ~procs:g.Mp_workload.Grid5000.cpus
+             ~at g.Mp_workload.Grid5000.jobs))
+  in
+  cross ~app_label:app.label ~res_label:"Grid5000" dags envs

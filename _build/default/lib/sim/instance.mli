@@ -1,0 +1,24 @@
+(** Random problem instances: a DAG plus a scheduling environment
+    (calendar of competing reservations, cluster size, historical
+    availability).
+
+    Following the paper's methodology, a scenario is instantiated as the
+    cross product of [n_dags] random application draws and [n_cals] random
+    reservation-schedule draws (random scheduling instant × random
+    tagging).  All draws derive deterministically from [seed]. *)
+
+type t = {
+  dag : Mp_dag.Dag.t;
+  env : Mp_core.Env.t;
+  app_label : string;
+  res_label : string;
+}
+
+val synthetic :
+  seed:int -> app:Scenario.app_spec -> res:Scenario.res_spec -> n_dags:int -> n_cals:int -> t list
+(** Instances against a synthetic archive log (Table 2 presets). *)
+
+val grid5000 : seed:int -> app:Scenario.app_spec -> n_dags:int -> n_cals:int -> t list
+(** Instances against the Grid'5000-style reservation log; the schedule
+    seen at time T contains exactly the reservations submitted before T
+    (the log {e is} a reservation log, so no tagging is applied). *)

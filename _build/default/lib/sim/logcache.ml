@@ -1,0 +1,27 @@
+module Rng = Mp_prelude.Rng
+module Log_model = Mp_workload.Log_model
+module Grid5000 = Mp_workload.Grid5000
+
+let log_tbl : (string * int, Mp_workload.Job.t list) Hashtbl.t = Hashtbl.create 16
+let g5k_tbl : (int, Grid5000.t) Hashtbl.t = Hashtbl.create 4
+
+let jobs ~seed (preset : Log_model.preset) =
+  let key = (preset.name, seed) in
+  match Hashtbl.find_opt log_tbl key with
+  | Some jobs -> jobs
+  | None ->
+      let jobs = Log_model.generate (Rng.create (seed + Hashtbl.hash preset.name)) preset in
+      Hashtbl.add log_tbl key jobs;
+      jobs
+
+let grid5000 ~seed =
+  match Hashtbl.find_opt g5k_tbl seed with
+  | Some g -> g
+  | None ->
+      let g = Grid5000.generate (Rng.create (seed + 0x675)) () in
+      Hashtbl.add g5k_tbl seed g;
+      g
+
+let clear () =
+  Hashtbl.reset log_tbl;
+  Hashtbl.reset g5k_tbl

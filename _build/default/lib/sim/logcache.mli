@@ -1,0 +1,16 @@
+(** Memoized workload logs.
+
+    Synthetic log generation (including the FCFS+backfill pass) is the most
+    expensive part of instance construction, and a single log is re-used
+    across every scenario that references its preset — as the paper reuses
+    each archive trace.  Logs are keyed by preset name and seed. *)
+
+val jobs : seed:int -> Mp_workload.Log_model.preset -> Mp_workload.Job.t list
+(** Synthetic batch log for the preset (generated once per (preset, seed),
+    then cached). *)
+
+val grid5000 : seed:int -> Mp_workload.Grid5000.t
+(** Synthetic Grid'5000 reservation log (cached per seed). *)
+
+val clear : unit -> unit
+(** Drop all cached logs (used by tests and memory-conscious sweeps). *)

@@ -1,0 +1,49 @@
+type scenario_result = { scenario : string; algos : string array; values : float array array }
+
+(* Non-finite values mark instances where an algorithm failed outright
+   (e.g. a pure resource-conservative run caught in a bind at every
+   deadline); they are excluded from the mean, and an algorithm that
+   failed every instance gets an infinite mean. *)
+let scenario_means r =
+  Array.map
+    (fun vs ->
+      if Array.length vs = 0 then invalid_arg "Metrics: no instance values";
+      let finite = Array.of_seq (Seq.filter Float.is_finite (Array.to_seq vs)) in
+      if Array.length finite = 0 then infinity
+      else Array.fold_left ( +. ) 0. finite /. float_of_int (Array.length finite))
+    r.values
+
+let degradations r =
+  let means = scenario_means r in
+  let best = Array.fold_left Float.min means.(0) means in
+  if best <= 0. then Array.map (fun m -> if m <= best then 0. else infinity) means
+  else Array.map (fun m -> (m -. best) /. best *. 100.) means
+
+let winners r =
+  let means = scenario_means r in
+  let best = Array.fold_left Float.min means.(0) means in
+  let tol = 1e-9 *. Float.max 1. (Float.abs best) in
+  Array.map (fun m -> m <= best +. tol) means
+
+type row = { algo : string; avg_degradation : float; wins : int }
+
+let summarize = function
+  | [] -> []
+  | first :: _ as results ->
+      let algos = first.algos in
+      List.iter
+        (fun r ->
+          if r.algos <> algos then invalid_arg "Metrics.summarize: inconsistent algorithm lists")
+        results;
+      let n_algos = Array.length algos in
+      let deg_sum = Array.make n_algos 0. in
+      let win_sum = Array.make n_algos 0 in
+      List.iter
+        (fun r ->
+          let degs = degradations r and wins = winners r in
+          Array.iteri (fun a d -> deg_sum.(a) <- deg_sum.(a) +. d) degs;
+          Array.iteri (fun a w -> if w then win_sum.(a) <- win_sum.(a) + 1) wins)
+        results;
+      let n = float_of_int (List.length results) in
+      List.init n_algos (fun a ->
+          { algo = algos.(a); avg_degradation = deg_sum.(a) /. n; wins = win_sum.(a) })

@@ -1,0 +1,33 @@
+(** Aggregation of per-scenario results into the paper's two summary
+    statistics: average percentage degradation from best, and number of
+    wins (Section 4.3.2).
+
+    For one scenario, an algorithm's metric is its mean over the scenario's
+    random instances; its degradation from best is the relative gap to the
+    scenario's best (smallest) mean, in percent; the scenario's winners are
+    the algorithms achieving that best mean (ties all win, which is why the
+    paper's win columns sum to slightly more than the scenario count). *)
+
+type scenario_result = {
+  scenario : string;
+  algos : string array;
+  values : float array array;  (** [values.(a)] = per-instance metric values of algorithm [a]; lower is better *)
+}
+
+val scenario_means : scenario_result -> float array
+(** Per-algorithm means over the scenario's instances.  Non-finite values
+    mark outright algorithm failures and are excluded; an algorithm with no
+    finite value gets an infinite mean. *)
+
+val degradations : scenario_result -> float array
+(** Percentage degradation from best per algorithm (0 for the best). *)
+
+val winners : scenario_result -> bool array
+(** Which algorithms achieve the scenario's best mean (within a relative
+    tolerance of 1e-9). *)
+
+type row = { algo : string; avg_degradation : float; wins : int }
+
+val summarize : scenario_result list -> row list
+(** One row per algorithm: degradation averaged over scenarios, wins summed.
+    All scenarios must list the same algorithms in the same order. *)

@@ -1,0 +1,82 @@
+module Algo = Mp_core.Algo
+module Deadline = Mp_core.Deadline
+module Schedule = Mp_cpa.Schedule
+
+let check ~validate (inst : Instance.t) ?deadline sched =
+  if validate then begin
+    match
+      Schedule.validate inst.dag ~base:inst.env.Mp_core.Env.calendar ?deadline sched
+    with
+    | Ok () -> ()
+    | Error msg ->
+        failwith (Printf.sprintf "invalid schedule (%s / %s): %s" inst.app_label inst.res_label msg)
+  end
+
+let ressched ?(validate = false) ~algos ~scenario instances =
+  let algo_names = Array.of_list (List.map (fun (a : Algo.ressched) -> a.name) algos) in
+  let scheds =
+    List.map
+      (fun (inst : Instance.t) ->
+        List.map
+          (fun (a : Algo.ressched) ->
+            let sched = a.run inst.env inst.dag in
+            check ~validate inst sched;
+            sched)
+          algos)
+      instances
+  in
+  let matrix f =
+    Array.of_list
+      (List.mapi
+         (fun ai _ -> Array.of_list (List.map (fun per_algo -> f (List.nth per_algo ai)) scheds))
+         algos)
+  in
+  ( { Metrics.scenario; algos = algo_names; values = matrix (fun s -> float_of_int (Schedule.turnaround s)) },
+    { Metrics.scenario; algos = algo_names; values = matrix Schedule.cpu_hours } )
+
+let deadline ?(validate = false) ?(loose_factor = 1.5) ~algos ~scenario instances =
+  let algo_names = Array.of_list (List.map (fun (a : Algo.deadline) -> a.name) algos) in
+  let per_instance =
+    List.map
+      (fun (inst : Instance.t) ->
+        let prepared = List.map (fun (a : Algo.deadline) -> a.prepare inst.env inst.dag) algos in
+        let tight =
+          List.map (fun algo -> Deadline.tightest algo inst.env inst.dag) prepared
+        in
+        List.iter
+          (function
+            | Some (k, sched) -> check ~validate inst ~deadline:k sched
+            | None -> ())
+          tight;
+        let max_tight =
+          List.fold_left
+            (fun acc -> function Some (k, _) -> max acc k | None -> acc)
+            1 tight
+        in
+        let loose = int_of_float (ceil (loose_factor *. float_of_int max_tight)) in
+        let cpu =
+          List.map2
+            (fun algo t ->
+              match algo ~deadline:loose with
+              | Some sched ->
+                  check ~validate inst ~deadline:loose sched;
+                  Schedule.cpu_hours sched
+              | None -> (
+                  (* fall back to the tightest-deadline schedule *)
+                  match t with Some (_, sched) -> Schedule.cpu_hours sched | None -> infinity))
+            prepared tight
+        in
+        let tight_values =
+          List.map (function Some (k, _) -> float_of_int k | None -> infinity) tight
+        in
+        (tight_values, cpu))
+      instances
+  in
+  let matrix f =
+    Array.of_list
+      (List.mapi
+         (fun ai _ -> Array.of_list (List.map (fun row -> List.nth (f row) ai) per_instance))
+         algos)
+  in
+  ( { Metrics.scenario; algos = algo_names; values = matrix fst },
+    { Metrics.scenario; algos = algo_names; values = matrix snd } )

@@ -1,0 +1,30 @@
+(** Execution of algorithm sets over instance sets, producing per-scenario
+    result matrices for {!Metrics}. *)
+
+val ressched :
+  ?validate:bool ->
+  algos:Mp_core.Algo.ressched list ->
+  scenario:string ->
+  Instance.t list ->
+  Metrics.scenario_result * Metrics.scenario_result
+(** [ressched ~algos ~scenario instances] runs every algorithm on every
+    instance and returns the (turn-around-time, CPU-hours) result
+    matrices.  With [validate] (default false), every produced schedule is
+    checked against the instance's calendar and DAG, and an exception is
+    raised on any infeasibility — used by the test suite. *)
+
+val deadline :
+  ?validate:bool ->
+  ?loose_factor:float ->
+  algos:Mp_core.Algo.deadline list ->
+  scenario:string ->
+  Instance.t list ->
+  Metrics.scenario_result * Metrics.scenario_result
+(** [deadline ~algos ~scenario instances] evaluates deadline algorithms as
+    in Section 5.3: for each instance, each algorithm's {e tightest
+    achievable deadline} is found by binary search; then each algorithm is
+    re-run with a {e loose} deadline ([loose_factor] × the latest tightest
+    deadline across algorithms, default 1.5) and its CPU-hours recorded.
+    Returns the (tightest-deadline, loose-CPU-hours) matrices.  An
+    algorithm that fails even at the loose deadline falls back to its
+    tightest-deadline schedule's CPU-hours. *)

@@ -1,0 +1,54 @@
+module Dag_gen = Mp_dag.Dag_gen
+module Log_model = Mp_workload.Log_model
+module Reservation_gen = Mp_workload.Reservation_gen
+
+type app_spec = { label : string; params : Dag_gen.params }
+
+type res_spec = { log : Log_model.preset; phi : float; method_ : Reservation_gen.method_ }
+
+let label_of name (p : Dag_gen.params) =
+  match name with
+  | "n" -> Printf.sprintf "n=%d" p.n
+  | "alpha" -> Printf.sprintf "alpha=%.2f" p.alpha
+  | "width" -> Printf.sprintf "width=%.1f" p.width
+  | "density" -> Printf.sprintf "density=%.1f" p.density
+  | "regularity" -> Printf.sprintf "regularity=%.1f" p.regularity
+  | "jump" -> Printf.sprintf "jump=%d" p.jump
+  | _ -> name
+
+let app_specs =
+  List.concat_map
+    (fun (name, ps) -> List.map (fun params -> { label = label_of name params; params }) ps)
+    Dag_gen.table1
+
+let default_app = { label = "default"; params = Dag_gen.default }
+
+let phis = [ 0.1; 0.2; 0.5 ]
+
+let res_specs =
+  List.concat_map
+    (fun log ->
+      List.concat_map
+        (fun phi ->
+          List.map (fun method_ -> { log; phi; method_ }) Reservation_gen.all_methods)
+        phis)
+    Log_model.all
+
+let res_label r =
+  Printf.sprintf "%s/phi=%.1f/%s" r.log.Log_model.name r.phi
+    (Reservation_gen.method_name r.method_)
+
+(* Pick k elements evenly spread over a list (always includes the first). *)
+let spread k xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if k >= n then xs
+  else if k <= 0 then []
+  else List.init k (fun i -> arr.(i * n / k))
+
+let sample_app_specs k =
+  let specs = spread (max 1 (k - 1)) app_specs in
+  if List.exists (fun s -> s.params = Dag_gen.default) specs then specs
+  else default_app :: specs
+
+let sample_res_specs k = spread k res_specs

@@ -1,0 +1,1 @@
+lib/workload/batch_sim.ml: Job List Mp_platform

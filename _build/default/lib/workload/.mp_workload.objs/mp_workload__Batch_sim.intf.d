@@ -1,0 +1,1 @@
+lib/workload/batch_sim.mli: Job Mp_platform

@@ -1,0 +1,1 @@
+lib/workload/grid5000.ml: Float Job List Mp_platform Mp_prelude

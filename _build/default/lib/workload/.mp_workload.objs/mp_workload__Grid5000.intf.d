@@ -1,0 +1,1 @@
+lib/workload/grid5000.mli: Job Mp_prelude

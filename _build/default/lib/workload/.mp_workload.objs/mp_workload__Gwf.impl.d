@@ -1,0 +1,1 @@
+lib/workload/gwf.ml: Fun Job List Printf Re String

@@ -1,0 +1,1 @@
+lib/workload/gwf.mli: Job

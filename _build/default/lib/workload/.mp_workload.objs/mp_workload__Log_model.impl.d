@@ -1,0 +1,1 @@
+lib/workload/log_model.ml: Batch_sim Float Hashtbl Job List Mp_prelude String

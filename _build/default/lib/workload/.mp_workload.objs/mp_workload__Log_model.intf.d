@@ -1,0 +1,1 @@
+lib/workload/log_model.mli: Job Mp_prelude

@@ -1,0 +1,1 @@
+lib/workload/reservation_gen.ml: Array Float Job List Mp_platform Mp_prelude

@@ -1,0 +1,1 @@
+lib/workload/reservation_gen.mli: Job Mp_platform Mp_prelude

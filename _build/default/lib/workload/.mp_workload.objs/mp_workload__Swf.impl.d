@@ -1,0 +1,1 @@
+lib/workload/swf.ml: Fun Job List Printf Re String

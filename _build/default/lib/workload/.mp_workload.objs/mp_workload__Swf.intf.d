@@ -1,0 +1,1 @@
+lib/workload/swf.mli: Job

@@ -1,0 +1,22 @@
+(** Reader/writer for the Grid Workloads Archive format (GWF).
+
+    The paper obtained its Grid'5000 reservation log through the Grid
+    Workloads Archive [6]; GWF is that archive's trace format.  As with
+    {!Swf}, only the fields the simulator consumes are interpreted:
+    JobID (1), SubmitTime (2), WaitTime (3), RunTime (4), NProcs (5) — the
+    same leading five columns as SWF, followed by 24 further fields that
+    are preserved as [-1] on output.  Comment lines start with ['#'] (the
+    GWA convention) or [';'].
+
+    With {!load}, a real GWA trace can replace the synthetic
+    {!Grid5000} generator end to end. *)
+
+val parse_line : string -> Job.t option
+(** [None] for comments, blank lines, and jobs with missing runtime or
+    processor counts. *)
+
+val of_lines : string list -> Job.t list
+val to_line : Job.t -> string
+
+val load : string -> Job.t list
+val save : string -> Job.t list -> unit

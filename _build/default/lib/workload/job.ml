@@ -1,0 +1,23 @@
+type t = { id : int; submit : int; start : int option; run : int; procs : int }
+
+let make ~id ~submit ?start ~run ~procs () =
+  if run <= 0 then invalid_arg "Job.make: run <= 0";
+  if procs <= 0 then invalid_arg "Job.make: procs <= 0";
+  if submit < 0 then invalid_arg "Job.make: submit < 0";
+  (match start with Some s when s < submit -> invalid_arg "Job.make: start < submit" | _ -> ());
+  { id; submit; start; run; procs }
+
+let finish j = Option.map (fun s -> s + j.run) j.start
+let wait j = Option.map (fun s -> s - j.submit) j.start
+
+let to_reservation j =
+  match j.start with
+  | None -> invalid_arg "Job.to_reservation: job not scheduled"
+  | Some s -> Mp_platform.Reservation.make ~start:s ~finish:(s + j.run) ~procs:j.procs
+
+let cpu_hours j = float_of_int (j.procs * j.run) /. 3600.
+
+let pp ppf j =
+  Format.fprintf ppf "job%d submit=%d start=%s run=%d procs=%d" j.id j.submit
+    (match j.start with None -> "-" | Some s -> string_of_int s)
+    j.run j.procs

@@ -1,0 +1,30 @@
+(** A batch job from a workload log.
+
+    Times are integer seconds from the log's origin.  [start] is assigned
+    by the batch scheduler ({!Batch_sim}) or read from a real log; it is
+    [None] for jobs not yet scheduled. *)
+
+type t = {
+  id : int;
+  submit : int;  (** submission time *)
+  start : int option;  (** start time, once scheduled *)
+  run : int;  (** runtime in seconds *)
+  procs : int;  (** processors used *)
+}
+
+val make : id:int -> submit:int -> ?start:int -> run:int -> procs:int -> unit -> t
+(** Raises [Invalid_argument] unless [run > 0], [procs > 0], [submit >= 0]
+    and, when given, [start >= submit]. *)
+
+val finish : t -> int option
+(** [start + run], when started. *)
+
+val wait : t -> int option
+(** [start - submit], when started — the paper's "time to exec". *)
+
+val to_reservation : t -> Mp_platform.Reservation.t
+(** View a {e started} job as a reservation.  Raises [Invalid_argument] on
+    an unscheduled job. *)
+
+val cpu_hours : t -> float
+val pp : Format.formatter -> t -> unit

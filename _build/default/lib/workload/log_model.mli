@@ -1,0 +1,45 @@
+(** Synthetic batch-job log generators calibrated to the four Parallel
+    Workloads Archive logs of the paper's Table 2.
+
+    The real archive traces are not redistributable with this repository,
+    so each preset reproduces the characteristics the paper's methodology
+    actually exploits: the machine size, the average utilization, and a
+    plausible job mix (diurnal Poisson arrivals, log-normal runtimes,
+    power-of-two-biased job sizes).  A real SWF trace can be used instead
+    via {!Swf.load} — every downstream function only consumes [Job.t]
+    lists.
+
+    Generation is a two-pass process: a first pass estimates the expected
+    CPU-demand per job for the preset's distributions, from which the
+    arrival rate matching the target utilization is derived; the second
+    pass draws the jobs, which are then run through {!Batch_sim} to obtain
+    capacity-feasible start times. *)
+
+type preset = {
+  name : string;
+  cpus : int;
+  target_utilization : float;  (** fraction of CPU-seconds busy *)
+  mean_runtime_hours : float;  (** from the paper's Table 3 *)
+  mean_wait_hours : float;
+      (** target average submit-to-start time (paper's Table 3); realized
+          as a per-job scheduler hold plus actual queueing *)
+}
+
+val ctc_sp2 : preset  (** IBM SP2, 430 CPUs, 65.8 % utilization *)
+
+val osc_cluster : preset  (** Linux cluster, 57 CPUs, 38.5 % utilization *)
+
+val sdsc_blue : preset  (** IBM SP, 1152 CPUs, 75.7 % utilization *)
+
+val sdsc_ds : preset  (** IBM eServer p690, 224 CPUs, 27.3 % utilization *)
+
+val all : preset list
+(** The four presets above, in Table 2 order. *)
+
+val find : string -> preset option
+(** Look up a preset by (case-insensitive) name. *)
+
+val generate : Mp_prelude.Rng.t -> ?days:int -> preset -> Job.t list
+(** [generate rng ~days preset] draws a log spanning [days] (default 60)
+    days and schedules it with {!Batch_sim.schedule}; all returned jobs
+    have start times. *)

@@ -1,0 +1,53 @@
+let ws_re = Re.compile (Re.rep1 Re.space)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = ';' then None
+  else begin
+    match Re.split ws_re line with
+    | jid :: submit :: wait :: run :: procs :: _ -> (
+        try
+          let jid = int_of_string jid
+          and submit = int_of_string submit
+          and wait = int_of_string wait
+          and run = int_of_string run
+          and procs = int_of_string procs in
+          if run <= 0 || procs <= 0 || submit < 0 then None
+          else begin
+            let start = if wait >= 0 then Some (submit + wait) else None in
+            Some (Job.make ~id:jid ~submit ?start ~run ~procs ())
+          end
+        with Failure _ -> None)
+    | _ -> None
+  end
+
+let of_lines lines = List.filter_map parse_line lines
+
+let to_line (j : Job.t) =
+  let wait = match j.start with None -> -1 | Some s -> s - j.submit in
+  Printf.sprintf "%d %d %d %d %d -1 -1 %d %d -1 -1 -1 -1 -1 -1 -1 -1 -1" j.id j.submit wait j.run
+    j.procs j.procs j.run
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (match parse_line line with Some j -> j :: acc | None -> acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let save path jobs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "; SWF written by mpres\n";
+      List.iter
+        (fun j ->
+          output_string oc (to_line j);
+          output_char oc '\n')
+        jobs)

@@ -1,0 +1,23 @@
+(** Reader/writer for the Standard Workload Format (SWF) used by the
+    Parallel Workloads Archive.
+
+    Only the fields the simulator needs are interpreted: job number (1),
+    submit time (2), wait time (3), run time (4), number of allocated
+    processors (5).  Remaining fields are preserved as [-1] on output.
+    Comment/header lines start with [';'].
+
+    This lets a user substitute a real archive trace for our synthetic
+    {!Log_model} generators, as the paper did. *)
+
+val parse_line : string -> Job.t option
+(** [parse_line s] is [None] for comments, blank lines, and jobs with
+    non-positive runtime or processor count (the archive marks missing
+    data with [-1]). *)
+
+val of_lines : string list -> Job.t list
+val to_line : Job.t -> string
+
+val load : string -> Job.t list
+(** Read a SWF file from disk. *)
+
+val save : string -> Job.t list -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algo Array Blind Bottom_level Bound Deadline Env Fun Hressched List Mp_core Mp_cpa Mp_dag Mp_platform Mp_prelude Online Printf QCheck QCheck_alcotest Ressched Result

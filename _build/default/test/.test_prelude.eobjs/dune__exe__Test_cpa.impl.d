@@ -1,0 +1,1 @@
+test/test_cpa.ml: Alcotest Allocation Array Cpa Fun Gantt Icaslb List Mapping Mcpa Mp_cpa Mp_dag Mp_platform Mp_prelude Printf QCheck QCheck_alcotest Result Schedule String

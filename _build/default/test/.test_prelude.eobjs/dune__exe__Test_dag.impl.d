@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Analysis Array Dag Dag_gen Float Format List Mp_dag Mp_prelude QCheck QCheck_alcotest String Task Workflows

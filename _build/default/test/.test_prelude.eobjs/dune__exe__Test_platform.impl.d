@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Calendar Format Grid List Mp_platform Printf Probe QCheck QCheck_alcotest Reservation

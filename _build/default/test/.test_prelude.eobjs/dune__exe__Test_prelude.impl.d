@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float Fun Gen List Mp_prelude QCheck QCheck_alcotest Rng Stats

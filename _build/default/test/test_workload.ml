@@ -1,0 +1,563 @@
+open Mp_workload
+module Rng = Mp_prelude.Rng
+module Stats = Mp_prelude.Stats
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+
+let day = 86_400
+
+(* ------------------------------------------------------------------ *)
+(* Job *)
+
+let test_job_basics () =
+  let j = Job.make ~id:1 ~submit:100 ~start:150 ~run:50 ~procs:4 () in
+  Alcotest.(check (option int)) "finish" (Some 200) (Job.finish j);
+  Alcotest.(check (option int)) "wait" (Some 50) (Job.wait j);
+  Alcotest.(check (float 1e-9)) "cpu hours" (200. /. 3600.) (Job.cpu_hours j)
+
+let test_job_invalid () =
+  Alcotest.check_raises "start < submit" (Invalid_argument "Job.make: start < submit") (fun () ->
+      ignore (Job.make ~id:1 ~submit:100 ~start:50 ~run:10 ~procs:1 ()));
+  Alcotest.check_raises "run <= 0" (Invalid_argument "Job.make: run <= 0") (fun () ->
+      ignore (Job.make ~id:1 ~submit:0 ~run:0 ~procs:1 ()))
+
+let test_job_to_reservation () =
+  let j = Job.make ~id:1 ~submit:0 ~start:10 ~run:20 ~procs:3 () in
+  let r = Job.to_reservation j in
+  Alcotest.(check int) "start" 10 r.start;
+  Alcotest.(check int) "finish" 30 r.finish;
+  Alcotest.(check int) "procs" 3 r.procs;
+  let unscheduled = Job.make ~id:2 ~submit:0 ~run:20 ~procs:3 () in
+  Alcotest.check_raises "unscheduled" (Invalid_argument "Job.to_reservation: job not scheduled")
+    (fun () -> ignore (Job.to_reservation unscheduled))
+
+(* ------------------------------------------------------------------ *)
+(* Swf *)
+
+let test_swf_parse () =
+  match Swf.parse_line "1 0 30 100 8 -1 -1 8 100 -1 -1 -1 -1 -1 -1 -1 -1 -1" with
+  | Some j ->
+      Alcotest.(check int) "id" 1 j.id;
+      Alcotest.(check int) "submit" 0 j.submit;
+      Alcotest.(check (option int)) "start" (Some 30) j.start;
+      Alcotest.(check int) "run" 100 j.run;
+      Alcotest.(check int) "procs" 8 j.procs
+  | None -> Alcotest.fail "expected a job"
+
+let test_swf_parse_comment () =
+  Alcotest.(check bool) "comment" true (Swf.parse_line "; UnixStartTime: 0" = None);
+  Alcotest.(check bool) "blank" true (Swf.parse_line "   " = None)
+
+let test_swf_parse_missing_data () =
+  (* runtime -1 means unknown: skipped *)
+  Alcotest.(check bool) "bad runtime" true (Swf.parse_line "1 0 30 -1 8" = None);
+  (* negative wait means never started: parsed with no start *)
+  match Swf.parse_line "1 0 -1 100 8" with
+  | Some j -> Alcotest.(check (option int)) "no start" None j.start
+  | None -> Alcotest.fail "expected a job"
+
+let test_swf_roundtrip () =
+  let j = Job.make ~id:7 ~submit:1000 ~start:1500 ~run:300 ~procs:16 () in
+  match Swf.parse_line (Swf.to_line j) with
+  | Some j' ->
+      Alcotest.(check int) "id" j.id j'.id;
+      Alcotest.(check int) "submit" j.submit j'.submit;
+      Alcotest.(check (option int)) "start" j.start j'.start;
+      Alcotest.(check int) "run" j.run j'.run;
+      Alcotest.(check int) "procs" j.procs j'.procs
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_swf_file_io () =
+  let jobs =
+    List.init 20 (fun i ->
+        Job.make ~id:(i + 1) ~submit:(i * 100) ~start:((i * 100) + 50) ~run:(60 + i) ~procs:(1 + (i mod 8)) ())
+  in
+  let path = Filename.temp_file "mpres_test" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Swf.save path jobs;
+      let back = Swf.load path in
+      Alcotest.(check int) "count" (List.length jobs) (List.length back))
+
+(* ------------------------------------------------------------------ *)
+(* Gwf *)
+
+let test_gwf_parse () =
+  match Gwf.parse_line "17 100 20 300 8 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1" with
+  | Some j ->
+      Alcotest.(check int) "id" 17 j.id;
+      Alcotest.(check (option int)) "start" (Some 120) j.start;
+      Alcotest.(check int) "run" 300 j.run;
+      Alcotest.(check int) "procs" 8 j.procs
+  | None -> Alcotest.fail "expected a job"
+
+let test_gwf_comments () =
+  Alcotest.(check bool) "hash comment" true (Gwf.parse_line "# GWA header" = None);
+  Alcotest.(check bool) "semicolon comment" true (Gwf.parse_line "; alt comment" = None)
+
+let test_gwf_roundtrip () =
+  let j = Job.make ~id:3 ~submit:500 ~start:600 ~run:50 ~procs:4 () in
+  Alcotest.(check bool) "roundtrip" true (Gwf.parse_line (Gwf.to_line j) = Some j)
+
+let test_gwf_file_io () =
+  let jobs =
+    List.init 10 (fun i ->
+        Job.make ~id:i ~submit:(i * 50) ~start:((i * 50) + 10) ~run:(30 + i) ~procs:(1 + i) ())
+  in
+  let path = Filename.temp_file "mpres_test" ".gwf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gwf.save path jobs;
+      Alcotest.(check bool) "same jobs back" true (Gwf.load path = jobs))
+
+(* ------------------------------------------------------------------ *)
+(* Batch_sim *)
+
+let test_batch_sim_fcfs () =
+  (* Two jobs that cannot overlap on 4 procs. *)
+  let jobs =
+    [
+      Job.make ~id:1 ~submit:0 ~run:100 ~procs:3 ();
+      Job.make ~id:2 ~submit:10 ~run:50 ~procs:3 ();
+    ]
+  in
+  match Batch_sim.schedule ~procs:4 jobs with
+  | [ j1; j2 ] ->
+      Alcotest.(check (option int)) "first immediate" (Some 0) j1.start;
+      Alcotest.(check (option int)) "second waits" (Some 100) j2.start
+  | _ -> Alcotest.fail "expected two jobs"
+
+let test_batch_sim_backfill () =
+  (* A small job can slide into the hole in front of a wide job. *)
+  let jobs =
+    [
+      Job.make ~id:1 ~submit:0 ~run:100 ~procs:3 ();
+      Job.make ~id:2 ~submit:10 ~run:1000 ~procs:4 ();
+      Job.make ~id:3 ~submit:20 ~run:50 ~procs:1 ();
+    ]
+  in
+  match Batch_sim.schedule ~procs:4 jobs with
+  | [ _; j2; j3 ] ->
+      Alcotest.(check (option int)) "wide job waits" (Some 100) j2.start;
+      Alcotest.(check (option int)) "small job backfills" (Some 20) j3.start
+  | _ -> Alcotest.fail "expected three jobs"
+
+let test_batch_sim_drops_oversize () =
+  let jobs = [ Job.make ~id:1 ~submit:0 ~run:10 ~procs:10 () ] in
+  Alcotest.(check int) "dropped" 0 (List.length (Batch_sim.schedule ~procs:4 jobs))
+
+let test_batch_sim_capacity_respected () =
+  let rng = Rng.create 5 in
+  let jobs =
+    List.init 200 (fun i ->
+        Job.make ~id:i ~submit:(Rng.int rng 5000) ~run:(1 + Rng.int rng 500)
+          ~procs:(1 + Rng.int rng 8) ())
+  in
+  let placed = Batch_sim.schedule ~procs:8 jobs in
+  (* Re-applying all reservations must not overcommit. *)
+  let cal =
+    List.fold_left
+      (fun cal j -> Calendar.reserve cal (Job.to_reservation j))
+      (Calendar.create ~procs:8) placed
+  in
+  Alcotest.(check bool) "no overcommit" true (Calendar.breakpoints cal > 0)
+
+let test_batch_sim_easy_backfills_aggressively () =
+  (* Conservative backfilling cannot start job 3 before job 2's
+     reservation; EASY lets it jump ahead because it finishes before the
+     head's shadow time. *)
+  let jobs =
+    [
+      Job.make ~id:1 ~submit:0 ~run:100 ~procs:3 ();
+      Job.make ~id:2 ~submit:10 ~run:1000 ~procs:4 ();
+      Job.make ~id:3 ~submit:20 ~run:80 ~procs:1 ();
+    ]
+  in
+  let starts policy =
+    List.map
+      (fun (j : Job.t) -> (j.id, Option.get j.start))
+      (Batch_sim.schedule ~policy ~procs:4 jobs)
+  in
+  let easy = starts Batch_sim.Easy in
+  Alcotest.(check int) "head at 100" 100 (List.assoc 2 easy);
+  Alcotest.(check int) "backfill at 20" 20 (List.assoc 3 easy)
+
+let test_batch_sim_easy_never_delays_head () =
+  (* A long backfill candidate that would push the head is refused. *)
+  let jobs =
+    [
+      Job.make ~id:1 ~submit:0 ~run:100 ~procs:3 ();
+      Job.make ~id:2 ~submit:10 ~run:1000 ~procs:4 ();
+      Job.make ~id:3 ~submit:20 ~run:500 ~procs:1 () (* would overlap the shadow *);
+    ]
+  in
+  let placed = Batch_sim.schedule ~policy:Easy ~procs:4 jobs in
+  let start id = Option.get (List.find (fun (j : Job.t) -> j.id = id) placed).start in
+  Alcotest.(check int) "head still at 100" 100 (start 2);
+  Alcotest.(check bool) "long job waits for the head" true (start 3 >= 100)
+
+let test_batch_sim_easy_capacity () =
+  let rng = Rng.create 6 in
+  let jobs =
+    List.init 150 (fun i ->
+        Job.make ~id:i ~submit:(Rng.int rng 3000) ~run:(1 + Rng.int rng 300)
+          ~procs:(1 + Rng.int rng 6) ())
+  in
+  let placed = Batch_sim.schedule ~policy:Easy ~procs:6 jobs in
+  Alcotest.(check int) "all placed" (List.length jobs) (List.length placed);
+  (* capacity-feasible: re-applying as reservations must not overcommit *)
+  let (_ : Calendar.t) =
+    List.fold_left
+      (fun cal j -> Calendar.reserve cal (Job.to_reservation j))
+      (Calendar.create ~procs:6) placed
+  in
+  (* EASY never starts a job before its submission *)
+  Alcotest.(check bool) "starts after submit" true
+    (List.for_all (fun (j : Job.t) -> Option.get j.start >= j.submit) placed)
+
+let test_batch_sim_easy_at_least_as_utilized () =
+  (* On a congested stream, EASY's utilization over a fixed window is at
+     least conservative's (it only moves work earlier). *)
+  let rng = Rng.create 7 in
+  let jobs =
+    List.init 120 (fun i ->
+        Job.make ~id:i ~submit:(Rng.int rng 2000) ~run:(50 + Rng.int rng 400)
+          ~procs:(1 + Rng.int rng 8) ())
+  in
+  let u policy =
+    Batch_sim.utilization ~procs:8 ~horizon:4000 (Batch_sim.schedule ~policy ~procs:8 jobs)
+  in
+  Alcotest.(check bool) "easy >= conservative - eps" true
+    (u Batch_sim.Easy >= u Batch_sim.Conservative -. 0.02)
+
+let test_batch_sim_flows_around_reservations () =
+  let reserved = [ Reservation.make ~start:0 ~finish:100 ~procs:4 ] in
+  let jobs = [ Job.make ~id:1 ~submit:0 ~run:10 ~procs:2 () ] in
+  (match Batch_sim.schedule ~reserved ~procs:4 jobs with
+  | [ j ] -> Alcotest.(check (option int)) "waits out the reservation" (Some 100) j.start
+  | _ -> Alcotest.fail "expected one job");
+  Alcotest.check_raises "easy rejects reservations"
+    (Invalid_argument "Batch_sim.schedule: reservations are only supported by Conservative")
+    (fun () -> ignore (Batch_sim.schedule ~policy:Easy ~reserved ~procs:4 jobs))
+
+let test_utilization () =
+  let jobs = [ Job.make ~id:1 ~submit:0 ~start:0 ~run:50 ~procs:2 () ] in
+  Alcotest.(check (float 1e-9)) "util" 0.25 (Batch_sim.utilization ~procs:4 ~horizon:100 jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Log_model *)
+
+let test_log_presets () =
+  Alcotest.(check int) "4 presets" 4 (List.length Log_model.all);
+  Alcotest.(check bool) "find case-insensitive" true (Log_model.find "sdsc_blue" <> None);
+  Alcotest.(check bool) "unknown" true (Log_model.find "nope" = None)
+
+let test_log_generate_utilization () =
+  let preset = Log_model.osc_cluster in
+  let jobs = Log_model.generate (Rng.create 11) ~days:30 preset in
+  let u = Batch_sim.utilization ~procs:preset.cpus ~horizon:(30 * day) jobs in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.3f within 30%% of target %.3f" u preset.target_utilization)
+    true
+    (Float.abs (u -. preset.target_utilization) < 0.3 *. preset.target_utilization)
+
+let test_log_generate_all_scheduled () =
+  let jobs = Log_model.generate (Rng.create 12) ~days:10 Log_model.sdsc_ds in
+  Alcotest.(check bool) "all started" true
+    (List.for_all (fun (j : Job.t) -> j.start <> None) jobs)
+
+let test_log_deterministic () =
+  let a = Log_model.generate (Rng.create 13) ~days:10 Log_model.ctc_sp2 in
+  let b = Log_model.generate (Rng.create 13) ~days:10 Log_model.ctc_sp2 in
+  Alcotest.(check bool) "same log" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Grid5000 *)
+
+let test_grid5000_generate () =
+  let g = Grid5000.generate (Rng.create 21) ~days:20 () in
+  Alcotest.(check bool) "has jobs" true (List.length g.jobs > 50);
+  Alcotest.(check bool) "all started" true (List.for_all (fun (j : Job.t) -> j.start <> None) g.jobs);
+  (* reservations respect capacity *)
+  let cal =
+    List.fold_left
+      (fun cal j -> Calendar.reserve cal (Job.to_reservation j))
+      (Calendar.create ~procs:g.cpus) g.jobs
+  in
+  ignore cal
+
+let test_grid5000_exec_stats () =
+  let g = Grid5000.generate (Rng.create 22) ~days:40 () in
+  let mean_exec = Stats.mean (List.map (fun (j : Job.t) -> float_of_int j.run /. 3600.) g.jobs) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean exec %.2f h near 1.84 h" mean_exec)
+    true
+    (mean_exec > 1.0 && mean_exec < 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Reservation_gen *)
+
+(* One shared log for the reservation-generator tests (generation is the
+   expensive part; the tests vary their own rng seeds for tagging and
+   instants). *)
+let sample_jobs =
+  let cache = Hashtbl.create 4 in
+  fun seed ->
+    match Hashtbl.find_opt cache seed with
+    | Some jobs -> jobs
+    | None ->
+        let jobs = Log_model.generate (Rng.create seed) ~days:15 Log_model.sdsc_ds in
+        Hashtbl.add cache seed jobs;
+        jobs
+
+let test_tag_fraction () =
+  let jobs = sample_jobs 31 in
+  let tagged = Reservation_gen.tag (Rng.create 1) ~phi:0.5 jobs in
+  let ratio = float_of_int (List.length tagged) /. float_of_int (List.length jobs) in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f near 0.5" ratio) true (Float.abs (ratio -. 0.5) < 0.1)
+
+let test_tag_invalid_phi () =
+  Alcotest.check_raises "phi out of range" (Invalid_argument "Reservation_gen.tag: phi not in (0,1]")
+    (fun () -> ignore (Reservation_gen.tag (Rng.create 1) ~phi:0. []))
+
+let extract_with method_ seed =
+  let jobs = sample_jobs 31 in
+  let rng = Rng.create seed in
+  let at = Reservation_gen.random_instant rng jobs in
+  let tagged = Reservation_gen.tag rng ~phi:0.2 jobs in
+  Reservation_gen.extract rng method_ ~procs:Log_model.sdsc_ds.cpus ~at tagged
+
+let test_extract_future_nonnegative_overlap () =
+  List.iter
+    (fun m ->
+      let rg = extract_with m 33 in
+      List.iter
+        (fun (r : Reservation.t) ->
+          if r.finish <= 0 then Alcotest.failf "future reservation ends at %d <= 0" r.finish;
+          if r.start >= 7 * day then Alcotest.failf "reservation starts beyond horizon: %d" r.start)
+        rg.future)
+    Reservation_gen.all_methods
+
+let test_extract_past_window () =
+  List.iter
+    (fun m ->
+      let rg = extract_with m 34 in
+      List.iter
+        (fun (r : Reservation.t) ->
+          if r.start >= 0 then Alcotest.failf "past reservation starts at %d >= 0" r.start;
+          if r.finish <= -7 * day then Alcotest.failf "past reservation out of window")
+        rg.past)
+    Reservation_gen.all_methods
+
+let test_extract_feasible () =
+  List.iter
+    (fun m ->
+      let rg = extract_with m 35 in
+      (* calendar construction raises if the subset overcommits *)
+      ignore (Reservation_gen.calendar rg))
+    Reservation_gen.all_methods
+
+let test_historical_average_bounds () =
+  List.iter
+    (fun m ->
+      let rg = extract_with m 36 in
+      let q = Reservation_gen.historical_average rg in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.1f within [0, %d]" q rg.procs)
+        true
+        (q >= 0. && q <= float_of_int rg.procs))
+    Reservation_gen.all_methods
+
+let decay_counts rg =
+  (* reservation-count per day over the 7-day horizon *)
+  let counts = Array.make 7 0 in
+  List.iter
+    (fun (r : Reservation.t) ->
+      let b = if r.start <= 0 then 0 else min 6 (r.start / day) in
+      counts.(b) <- counts.(b) + 1)
+    rg.Reservation_gen.future;
+  counts
+
+let test_linear_decays () =
+  let rg = extract_with Reservation_gen.Linear 37 in
+  let c = decay_counts rg in
+  (* first half should clearly outweigh the second half *)
+  let first = c.(0) + c.(1) + c.(2) and last = c.(4) + c.(5) + c.(6) in
+  Alcotest.(check bool) (Printf.sprintf "decays: %d vs %d" first last) true (first > last)
+
+let test_expo_decays_faster () =
+  let lin = decay_counts (extract_with Reservation_gen.Linear 38) in
+  let ex = decay_counts (extract_with Reservation_gen.Expo 38) in
+  let tail a = a.(3) + a.(4) + a.(5) + a.(6) in
+  Alcotest.(check bool)
+    (Printf.sprintf "expo tail %d <= linear tail %d" (tail ex) (tail lin))
+    true
+    (tail ex <= tail lin)
+
+let test_real_only_known_jobs () =
+  let jobs = sample_jobs 31 in
+  let rng = Rng.create 40 in
+  let at = Reservation_gen.random_instant rng jobs in
+  let tagged = Reservation_gen.tag rng ~phi:0.3 jobs in
+  let rg = Reservation_gen.extract rng Reservation_gen.Real ~procs:Log_model.sdsc_ds.cpus ~at tagged in
+  (* every future reservation must correspond to a tagged job submitted
+     before T *)
+  let known_starts =
+    List.filter_map
+      (fun (j : Job.t) -> if j.submit <= at then Option.map (fun s -> s - at) j.start else None)
+      tagged
+  in
+  List.iter
+    (fun (r : Reservation.t) ->
+      if not (List.mem r.start known_starts) then
+        Alcotest.failf "future reservation at %d not from a known job" r.start)
+    rg.future
+
+let test_random_instant_in_span () =
+  let jobs = sample_jobs 31 in
+  let rng = Rng.create 42 in
+  for _ = 1 to 20 do
+    let at = Reservation_gen.random_instant rng jobs in
+    Alcotest.(check bool) "non-negative" true (at >= 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_batch_sim_no_overcommit =
+  QCheck.Test.make ~name:"batch sim never overcommits" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let jobs =
+        List.init 50 (fun i ->
+            Job.make ~id:i ~submit:(Rng.int rng 1000) ~run:(1 + Rng.int rng 100)
+              ~procs:(1 + Rng.int rng 6) ())
+      in
+      let placed = Batch_sim.schedule ~procs:6 jobs in
+      match
+        List.fold_left
+          (fun cal j -> Calendar.reserve cal (Job.to_reservation j))
+          (Calendar.create ~procs:6) placed
+      with
+      | (_ : Calendar.t) -> true
+      | exception Calendar.Overcommitted _ -> false)
+
+let prop_batch_sim_starts_after_submit =
+  QCheck.Test.make ~name:"batch sim starts jobs at or after submission" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let jobs =
+        List.init 30 (fun i ->
+            Job.make ~id:i ~submit:(Rng.int rng 500) ~run:(1 + Rng.int rng 50)
+              ~procs:(1 + Rng.int rng 4) ())
+      in
+      List.for_all
+        (fun (j : Job.t) -> match j.start with Some s -> s >= j.submit | None -> false)
+        (Batch_sim.schedule ~procs:4 jobs))
+
+let prop_parsers_never_raise =
+  QCheck.Test.make ~name:"SWF/GWF parsers never raise on junk" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 120))
+    (fun s ->
+      let (_ : Job.t option) = Swf.parse_line s in
+      let (_ : Job.t option) = Gwf.parse_line s in
+      true)
+
+let prop_parsers_never_raise_numeric =
+  QCheck.Test.make ~name:"parsers never raise on random numeric rows" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 10) (int_range (-5) 1000))
+    (fun fields ->
+      let line = String.concat " " (List.map string_of_int fields) in
+      let (_ : Job.t option) = Swf.parse_line line in
+      let (_ : Job.t option) = Gwf.parse_line line in
+      true)
+
+let prop_swf_roundtrip =
+  QCheck.Test.make ~name:"SWF line roundtrip" ~count:200
+    QCheck.(quad (int_range 0 100000) (int_range 0 10000) (int_range 1 100000) (int_range 1 4096))
+    (fun (submit, wait, run, procs) ->
+      let j = Job.make ~id:1 ~submit ~start:(submit + wait) ~run ~procs () in
+      match Swf.parse_line (Swf.to_line j) with
+      | Some j' -> j' = j
+      | None -> false)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_batch_sim_no_overcommit;
+        prop_batch_sim_starts_after_submit;
+        prop_parsers_never_raise;
+        prop_parsers_never_raise_numeric;
+        prop_swf_roundtrip;
+      ]
+  in
+  Alcotest.run "workload"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "basics" `Quick test_job_basics;
+          Alcotest.test_case "invalid" `Quick test_job_invalid;
+          Alcotest.test_case "to_reservation" `Quick test_job_to_reservation;
+        ] );
+      ( "swf",
+        [
+          Alcotest.test_case "parse" `Quick test_swf_parse;
+          Alcotest.test_case "comments" `Quick test_swf_parse_comment;
+          Alcotest.test_case "missing data" `Quick test_swf_parse_missing_data;
+          Alcotest.test_case "roundtrip" `Quick test_swf_roundtrip;
+          Alcotest.test_case "file io" `Quick test_swf_file_io;
+        ] );
+      ( "gwf",
+        [
+          Alcotest.test_case "parse" `Quick test_gwf_parse;
+          Alcotest.test_case "comments" `Quick test_gwf_comments;
+          Alcotest.test_case "roundtrip" `Quick test_gwf_roundtrip;
+          Alcotest.test_case "file io" `Quick test_gwf_file_io;
+        ] );
+      ( "batch_sim",
+        [
+          Alcotest.test_case "fcfs order" `Quick test_batch_sim_fcfs;
+          Alcotest.test_case "backfill" `Quick test_batch_sim_backfill;
+          Alcotest.test_case "drops oversize" `Quick test_batch_sim_drops_oversize;
+          Alcotest.test_case "capacity respected" `Quick test_batch_sim_capacity_respected;
+          Alcotest.test_case "easy backfills aggressively" `Quick
+            test_batch_sim_easy_backfills_aggressively;
+          Alcotest.test_case "easy never delays head" `Quick test_batch_sim_easy_never_delays_head;
+          Alcotest.test_case "easy capacity" `Quick test_batch_sim_easy_capacity;
+          Alcotest.test_case "easy utilization" `Quick test_batch_sim_easy_at_least_as_utilized;
+          Alcotest.test_case "flows around reservations" `Quick
+            test_batch_sim_flows_around_reservations;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "log_model",
+        [
+          Alcotest.test_case "presets" `Quick test_log_presets;
+          Alcotest.test_case "utilization near target" `Slow test_log_generate_utilization;
+          Alcotest.test_case "all scheduled" `Quick test_log_generate_all_scheduled;
+          Alcotest.test_case "deterministic" `Quick test_log_deterministic;
+        ] );
+      ( "grid5000",
+        [
+          Alcotest.test_case "generate" `Quick test_grid5000_generate;
+          Alcotest.test_case "exec stats" `Quick test_grid5000_exec_stats;
+        ] );
+      ( "reservation_gen",
+        [
+          Alcotest.test_case "tag fraction" `Quick test_tag_fraction;
+          Alcotest.test_case "tag invalid phi" `Quick test_tag_invalid_phi;
+          Alcotest.test_case "future overlap horizon" `Quick test_extract_future_nonnegative_overlap;
+          Alcotest.test_case "past window" `Quick test_extract_past_window;
+          Alcotest.test_case "feasible" `Quick test_extract_feasible;
+          Alcotest.test_case "historical average bounds" `Quick test_historical_average_bounds;
+          Alcotest.test_case "linear decays" `Quick test_linear_decays;
+          Alcotest.test_case "expo decays faster" `Quick test_expo_decays_faster;
+          Alcotest.test_case "real keeps only known jobs" `Quick test_real_only_known_jobs;
+          Alcotest.test_case "random instant" `Quick test_random_instant_in_span;
+        ] );
+      ("properties", props);
+    ]
