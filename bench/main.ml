@@ -30,6 +30,16 @@ let scale =
           Experiments.quick)
   | None -> Experiments.quick
 
+let jobs =
+  match Sys.getenv_opt "MPRES_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | _ ->
+          Printf.eprintf "invalid MPRES_JOBS %S; using the default\n%!" s;
+          Mp_prelude.Pool.default_jobs ())
+  | None -> Mp_prelude.Pool.default_jobs ()
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (Tables 9 and 10) *)
 
@@ -155,48 +165,50 @@ let bench_table10 () =
 
 (* ------------------------------------------------------------------ *)
 
-let section title =
-  Printf.printf "\n=== %s ===\n\n%!" title
+(* Every scenario section prints its own wall-clock, so BENCH_* trajectories
+   show where the time goes — and what the MPRES_JOBS fan-out buys. *)
+let section title f =
+  Printf.printf "\n=== %s ===\n\n%!" title;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "\n[%s: %.2f s wall-clock]\n%!" title (Unix.gettimeofday () -. t0)
 
 let () =
-  Printf.printf "mpres benchmark harness (scale: n_app=%d n_res=%d n_dags=%d n_cals=%d; set MPRES_SCALE to change)\n"
-    scale.n_app scale.n_res scale.n_dags scale.n_cals;
-  section "Table 1 (application parameters are the generator defaults; see DESIGN.md)";
-  Printf.printf "%d application specifications enumerated from Table 1\n" (List.length Scenario.app_specs);
-  section "Table 2";
-  Experiments.print_table2 scale;
-  section "Table 3";
-  Experiments.print_table3 scale;
-  section "Section 4.3.1 (bottom-level methods)";
-  Experiments.print_bl_comparison scale;
-  section "Table 4";
-  Experiments.print_table4 scale;
-  section "Table 5";
-  Experiments.print_table5 scale;
-  section "Table 6";
-  Experiments.print_table6 scale;
-  section "Table 7";
-  Experiments.print_table7 scale;
-  section "Table 8";
-  Experiments.print_table8 ();
-  section "Table 9";
-  bench_table9 ();
-  section "Table 10";
-  bench_table10 ();
-  section "Ablation: allocators";
-  Experiments.print_allocator_ablation scale;
-  section "Ablation: blind scheduling";
-  Experiments.print_blind_ablation scale;
-  section "Ablation: online arrivals";
-  Experiments.print_online_ablation scale;
-  section "Ablation: heterogeneous grid";
-  Experiments.print_hetero_ablation scale;
-  section "Ablation: iCASLB bounds";
-  Experiments.print_icaslb_ablation scale;
-  section "Ablation: reservation impact on batch users";
-  Experiments.print_reservation_impact scale;
-  section "Ablation: CPU-hours vs deadline looseness";
-  Experiments.print_pareto_ablation scale;
-  section "Ablation: pessimistic estimates";
-  Experiments.print_estimate_ablation scale;
-  Printf.printf "\nDone.\n"
+  (* surface the per-scenario wall-clock lines logged by Mp_sim.Experiments *)
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+  Printf.printf
+    "mpres benchmark harness (scale: n_app=%d n_res=%d n_dags=%d n_cals=%d, jobs=%d; set MPRES_SCALE / MPRES_JOBS to change)\n"
+    scale.n_app scale.n_res scale.n_dags scale.n_cals jobs;
+  let total0 = Unix.gettimeofday () in
+  Mp_prelude.Pool.with_pool ~jobs (fun pool ->
+      section "Table 1 (application parameters are the generator defaults; see DESIGN.md)"
+        (fun () ->
+          Printf.printf "%d application specifications enumerated from Table 1\n"
+            (List.length Scenario.app_specs));
+      section "Table 2" (fun () -> Experiments.print_table2 scale);
+      section "Table 3" (fun () -> Experiments.print_table3 scale);
+      section "Section 4.3.1 (bottom-level methods)" (fun () ->
+          Experiments.print_bl_comparison ~pool scale);
+      section "Table 4" (fun () -> Experiments.print_table4 ~pool scale);
+      section "Table 5" (fun () -> Experiments.print_table5 ~pool scale);
+      section "Table 6" (fun () -> Experiments.print_table6 ~pool scale);
+      section "Table 7" (fun () -> Experiments.print_table7 ~pool scale);
+      section "Table 8" (fun () -> Experiments.print_table8 ());
+      section "Table 9" bench_table9;
+      section "Table 10" bench_table10;
+      section "Ablation: allocators" (fun () -> Experiments.print_allocator_ablation scale);
+      section "Ablation: blind scheduling" (fun () ->
+          Experiments.print_blind_ablation ~pool scale);
+      section "Ablation: online arrivals" (fun () -> Experiments.print_online_ablation scale);
+      section "Ablation: heterogeneous grid" (fun () ->
+          Experiments.print_hetero_ablation scale);
+      section "Ablation: iCASLB bounds" (fun () ->
+          Experiments.print_icaslb_ablation ~pool scale);
+      section "Ablation: reservation impact on batch users" (fun () ->
+          Experiments.print_reservation_impact scale);
+      section "Ablation: CPU-hours vs deadline looseness" (fun () ->
+          Experiments.print_pareto_ablation ~pool scale);
+      section "Ablation: pessimistic estimates" (fun () ->
+          Experiments.print_estimate_ablation ~pool scale));
+  Printf.printf "\nDone in %.2f s wall-clock (jobs=%d).\n" (Unix.gettimeofday () -. total0) jobs

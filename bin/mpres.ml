@@ -158,12 +158,23 @@ let print_schedule ?(gantt = false) ?svg_file ?(json = false) (inst : Instance.t
           output_string oc (Mp_cpa.Gantt.svg ~procs:inst.env.p ~competing:(competing ()) sched));
       Format.printf "gantt chart written to %s@." path
 
+(* The single name→algorithm registry lives in [Algo]; the CLI only
+   formats its unified listing. *)
+let algo_listing = String.concat ", " Algo.all_names
+
+let unknown_algo name =
+  Format.eprintf "unknown algorithm %S.@.Known algorithms: %s@." name algo_listing;
+  exit 1
+
 let schedule seed params log phi method_ shape algo_name gantt svg_file json =
-  match Algo.ressched_find algo_name with
-  | None ->
-      Format.eprintf "unknown algorithm %S (try BD_CPAR or BL_CPAR_BD_CPA)@." algo_name;
+  match Algo.find algo_name with
+  | None -> unknown_algo algo_name
+  | Some (`Deadline _) ->
+      Format.eprintf
+        "%S is a deadline (RESSCHEDDL) algorithm; use 'mpres deadline --algo %s'.@." algo_name
+        algo_name;
       exit 1
-  | Some algo ->
+  | Some (`Ressched algo) ->
       let inst = instance_of ~seed ~params ~log ~phi ~method_ ~shape in
       let sched = algo.run inst.env inst.dag in
       (match Schedule.validate inst.dag ~base:inst.env.calendar sched with
@@ -174,7 +185,11 @@ let schedule seed params log phi method_ shape algo_name gantt svg_file json =
       print_schedule ~gantt ?svg_file ~json inst sched
 
 let algo_t =
-  Arg.(value & opt string "BD_CPAR" & info [ "algo" ] ~doc:"RESSCHED algorithm name.")
+  Arg.(
+    value
+    & opt string "BD_CPAR"
+    & info [ "algo" ]
+        ~doc:(Printf.sprintf "RESSCHED algorithm name. Known algorithms: %s." algo_listing))
 
 let gantt_t = Arg.(value & flag & info [ "gantt" ] ~doc:"Render an ASCII Gantt chart.")
 
@@ -194,11 +209,14 @@ let schedule_cmd =
 (* deadline *)
 
 let deadline seed params log phi method_ shape algo_name deadline_s gantt svg_file =
-  match Algo.deadline_find algo_name with
-  | None ->
-      Format.eprintf "unknown deadline algorithm %S (try DL_RCBD_CPAR-l)@." algo_name;
+  match Algo.find algo_name with
+  | None -> unknown_algo algo_name
+  | Some (`Ressched _) ->
+      Format.eprintf
+        "%S is a RESSCHED algorithm (no deadline support); use 'mpres schedule --algo %s'.@."
+        algo_name algo_name;
       exit 1
-  | Some algo -> (
+  | Some (`Deadline algo) -> (
       let inst = instance_of ~seed ~params ~log ~phi ~method_ ~shape in
       match deadline_s with
       | Some k -> (
@@ -224,7 +242,11 @@ let deadline_cmd =
       & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Deadline; omit to search for the tightest one.")
   in
   let algo =
-    Arg.(value & opt string "DL_RCBD_CPAR-l" & info [ "algo" ] ~doc:"RESSCHEDDL algorithm name.")
+    Arg.(
+      value
+      & opt string "DL_RCBD_CPAR-l"
+      & info [ "algo" ]
+          ~doc:(Printf.sprintf "RESSCHEDDL algorithm name. Known algorithms: %s." algo_listing))
   in
   Cmd.v
     (Cmd.info "deadline" ~doc:"Solve RESSCHEDDL on a random instance")
@@ -235,38 +257,52 @@ let deadline_cmd =
 (* ------------------------------------------------------------------ *)
 (* experiment *)
 
-let experiment scale_name table =
+let experiment scale_name table jobs =
+  if jobs < 1 then begin
+    Format.eprintf "--jobs must be at least 1@.";
+    exit 1
+  end;
   match Experiments.scale_of_string scale_name with
   | None ->
       Format.eprintf "unknown scale %S (quick, standard, paper)@." scale_name;
       exit 1
   | Some scale -> (
       match table with
-      | "all" -> Experiments.run_all scale
+      | "all" -> Experiments.run_all ~jobs scale
       | "2" -> Experiments.print_table2 scale
       | "3" -> Experiments.print_table3 scale
-      | "bl" -> Experiments.print_bl_comparison scale
-      | "matrix" -> Experiments.print_bl_bd_matrix scale
-      | "4" -> Experiments.print_table4 scale
-      | "5" -> Experiments.print_table5 scale
-      | "6" -> Experiments.print_table6 scale
-      | "7" -> Experiments.print_table7 scale
+      | "bl" -> Experiments.print_bl_comparison ~jobs scale
+      | "matrix" -> Experiments.print_bl_bd_matrix ~jobs scale
+      | "4" -> Experiments.print_table4 ~jobs scale
+      | "5" -> Experiments.print_table5 ~jobs scale
+      | "6" -> Experiments.print_table6 ~jobs scale
+      | "7" -> Experiments.print_table7 ~jobs scale
       | "8" -> Experiments.print_table8 ()
       | "9" -> Experiments.print_table9 scale
       | "10" -> Experiments.print_table10 scale
       | "allocators" -> Experiments.print_allocator_ablation scale
-      | "blind" -> Experiments.print_blind_ablation scale
+      | "blind" -> Experiments.print_blind_ablation ~jobs scale
       | "online" -> Experiments.print_online_ablation scale
       | "hetero" -> Experiments.print_hetero_ablation scale
-      | "icaslb" -> Experiments.print_icaslb_ablation scale
+      | "icaslb" -> Experiments.print_icaslb_ablation ~jobs scale
       | "impact" -> Experiments.print_reservation_impact scale
-      | "pareto" -> Experiments.print_pareto_ablation scale
-      | "estimates" -> Experiments.print_estimate_ablation scale
+      | "pareto" -> Experiments.print_pareto_ablation ~jobs scale
+      | "estimates" -> Experiments.print_estimate_ablation ~jobs scale
       | other ->
           Format.eprintf
             "unknown table %S (2,3,bl,4,5,6,7,8,9,10,allocators,blind,online,hetero,icaslb,impact,pareto,estimates,all)@."
             other;
           exit 1)
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Mp_prelude.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "MPRES_JOBS")
+        ~doc:
+          "Worker domains for the experiment fan-out (default: cores - 1; 1 = sequential). \
+           Results are bit-identical whatever the value.")
 
 let experiment_cmd =
   let scale =
@@ -281,7 +317,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's tables")
-    Term.(const experiment $ scale $ table)
+    Term.(const experiment $ scale $ table $ jobs_t)
 
 (* ------------------------------------------------------------------ *)
 

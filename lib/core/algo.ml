@@ -73,3 +73,21 @@ let deadline_all = deadline_main @ [ rc_lambda; rcbd_lambda ]
 let deadline_find name =
   let lname = String.lowercase_ascii name in
   List.find_opt (fun a -> String.lowercase_ascii a.name = lname) deadline_all
+
+let find name =
+  match ressched_find name with
+  | Some a -> Some (`Ressched a)
+  | None -> (
+      match deadline_find name with Some a -> Some (`Deadline a) | None -> None)
+
+let all_names =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun name ->
+      if Hashtbl.mem seen name then false
+      else begin
+        Hashtbl.add seen name ();
+        true
+      end)
+    (List.map (fun (a : ressched) -> a.name) (ressched_main @ ressched_all)
+    @ List.map (fun (a : deadline) -> a.name) deadline_all)

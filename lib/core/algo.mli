@@ -33,3 +33,13 @@ val deadline_all : deadline list
 (** Union of the above (each algorithm once). *)
 
 val deadline_find : string -> deadline option
+
+val find : string -> [ `Ressched of ressched | `Deadline of deadline ] option
+(** Case-insensitive lookup across {e both} registries — the single entry
+    point CLIs should dispatch on, so no caller maintains its own
+    name→algorithm table. *)
+
+val all_names : string list
+(** Every registered algorithm name, RESSCHED first then RESSCHEDDL, each
+    once, in registry order — the listing to print in [--help] and
+    unknown-name error messages. *)

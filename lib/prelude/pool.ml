@@ -1,0 +1,139 @@
+(* A fixed worker pool over Domains with static round-robin assignment.
+
+   Workers are parked on a condition variable between batches.  A batch
+   hands worker [w] the item stripe {w, w + jobs, w + 2*jobs, ...}; the
+   calling domain runs the last stripe itself, then waits for the
+   others.  No work stealing: the stripe an item lands on is a pure
+   function of its index, which is what makes parallel runs replayable.
+
+   Results land in per-item slots ([Ok] or the captured exception) and
+   are merged by item index, so output equals the sequential run's. *)
+
+type slot = Idle | Work of (unit -> unit)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  slots : slot array;  (* one per spawned domain; length jobs - 1 *)
+  mutable busy : int;  (* spawned-domain slots still running this batch *)
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker t w =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.slots.(w) = Idle && not t.closed do
+      Condition.wait t.work_ready t.mutex
+    done;
+    match t.slots.(w) with
+    | Idle ->
+        (* closed with nothing assigned *)
+        Mutex.unlock t.mutex
+    | Work f ->
+        Mutex.unlock t.mutex;
+        f ();
+        Mutex.lock t.mutex;
+        t.slots.(w) <- Idle;
+        t.busy <- t.busy - 1;
+        if t.busy = 0 then Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      slots = Array.make (jobs - 1) Idle;
+      busy = 0;
+      closed = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let jobs t = t.jobs
+
+(* Run stripe [w] of [n] items: every item writes its own result slot;
+   on an exception the stripe stops (the remaining slots stay [None],
+   which is fine — in index order the exception is reached first). *)
+let stripe results items f n step w () =
+  let i = ref w in
+  (try
+     while !i < n do
+       results.(!i) <- Some (Ok (f items.(!i)));
+       i := !i + step
+     done
+   with e -> results.(!i) <- Some (Error e))
+
+let map_array t f items =
+  let n = Array.length items in
+  if t.jobs = 1 && t.closed then invalid_arg "Pool.map: pool is shut down";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    if t.jobs > 1 then begin
+      Mutex.lock t.mutex;
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.map: pool is shut down"
+      end;
+      if t.busy <> 0 then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.map: concurrent map on the same pool"
+      end;
+      let assigned = ref 0 in
+      for w = 0 to t.jobs - 2 do
+        if w < n then begin
+          t.slots.(w) <- Work (stripe results items f n t.jobs w);
+          incr assigned
+        end
+      done;
+      t.busy <- !assigned;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex
+    end;
+    (* the calling domain takes the last stripe *)
+    stripe results items f n t.jobs (t.jobs - 1) ();
+    if t.jobs > 1 then begin
+      Mutex.lock t.mutex;
+      while t.busy > 0 do
+        Condition.wait t.work_done t.mutex
+      done;
+      Mutex.unlock t.mutex
+    end;
+    (* merge in item order: the smallest-index failure wins, as it would
+       sequentially (a [None] can only follow its stripe's [Error]) *)
+    for i = 0 to n - 1 do
+      match results.(i) with Some (Error e) -> raise e | _ -> ()
+    done;
+    Array.map (function Some (Ok v) -> v | _ -> assert false) results
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  if not was_closed then Array.iter Domain.join t.domains
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ?jobs f xs = with_pool ?jobs (fun t -> map t f xs)

@@ -48,3 +48,14 @@ let run ?bl ?bd (env : Env.t) arrivals =
     makespan = List.fold_left (fun acc a -> max acc (Schedule.turnaround a.schedule)) 0 apps;
     total_cpu_hours = List.fold_left (fun acc a -> acc +. a.cpu_hours) 0. apps;
   }
+
+(* Each campaign threads its own calendar and is inherently sequential,
+   but independent campaigns (different tenants, seeds, or what-if
+   calendars) fan out cleanly: one campaign per work item, results merged
+   in input order. *)
+let run_many ?pool ?jobs ?bl ?bd campaigns =
+  match pool with
+  | Some p -> Mp_prelude.Pool.map p (fun (env, arrivals) -> run ?bl ?bd env arrivals) campaigns
+  | None ->
+      Mp_prelude.Pool.with_pool ?jobs (fun p ->
+          Mp_prelude.Pool.map p (fun (env, arrivals) -> run ?bl ?bd env arrivals) campaigns)

@@ -2,26 +2,40 @@ module Rng = Mp_prelude.Rng
 module Log_model = Mp_workload.Log_model
 module Grid5000 = Mp_workload.Grid5000
 
+(* The tables are shared across domains (instance construction may run
+   from pool workers), so every access is serialized.  Generation happens
+   under the lock: regenerating a 60-day log twice costs far more than any
+   contention, and holding the lock keeps the "at most one generation per
+   key" invariant trivially true. *)
+let mutex = Mutex.create ()
+
 let log_tbl : (string * int, Mp_workload.Job.t list) Hashtbl.t = Hashtbl.create 16
 let g5k_tbl : (int, Grid5000.t) Hashtbl.t = Hashtbl.create 4
 
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
 let jobs ~seed (preset : Log_model.preset) =
-  let key = (preset.name, seed) in
-  match Hashtbl.find_opt log_tbl key with
-  | Some jobs -> jobs
-  | None ->
-      let jobs = Log_model.generate (Rng.create (seed + Hashtbl.hash preset.name)) preset in
-      Hashtbl.add log_tbl key jobs;
-      jobs
+  locked (fun () ->
+      let key = (preset.name, seed) in
+      match Hashtbl.find_opt log_tbl key with
+      | Some jobs -> jobs
+      | None ->
+          let jobs = Log_model.generate (Rng.create (seed + Hashtbl.hash preset.name)) preset in
+          Hashtbl.add log_tbl key jobs;
+          jobs)
 
 let grid5000 ~seed =
-  match Hashtbl.find_opt g5k_tbl seed with
-  | Some g -> g
-  | None ->
-      let g = Grid5000.generate (Rng.create (seed + 0x675)) () in
-      Hashtbl.add g5k_tbl seed g;
-      g
+  locked (fun () ->
+      match Hashtbl.find_opt g5k_tbl seed with
+      | Some g -> g
+      | None ->
+          let g = Grid5000.generate (Rng.create (seed + 0x675)) () in
+          Hashtbl.add g5k_tbl seed g;
+          g)
 
 let clear () =
-  Hashtbl.reset log_tbl;
-  Hashtbl.reset g5k_tbl
+  locked (fun () ->
+      Hashtbl.reset log_tbl;
+      Hashtbl.reset g5k_tbl)

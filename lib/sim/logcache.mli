@@ -3,7 +3,12 @@
     Synthetic log generation (including the FCFS+backfill pass) is the most
     expensive part of instance construction, and a single log is re-used
     across every scenario that references its preset — as the paper reuses
-    each archive trace.  Logs are keyed by preset name and seed. *)
+    each archive trace.  Logs are keyed by preset name and seed.
+
+    The cache is the one piece of shared mutable state under the parallel
+    experiment engine; all entry points are mutex-protected and each log
+    is generated exactly once per key, so results do not depend on which
+    domain asks first. *)
 
 val jobs : seed:int -> Mp_workload.Log_model.preset -> Mp_workload.Job.t list
 (** Synthetic batch log for the preset (generated once per (preset, seed),

@@ -173,6 +173,55 @@ let test_summarize () =
   check_float "max" 5. s.max
 
 (* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_default_jobs () =
+  Alcotest.(check bool) "at least 1" true (Pool.default_jobs () >= 1)
+
+let test_pool_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) - (3 * x) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (List.map f xs) (Pool.run ~jobs f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_more_workers_than_items () =
+  Alcotest.(check (list int)) "jobs > n" [ 2; 4; 6 ] (Pool.run ~jobs:8 (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "empty input" [] (Pool.run ~jobs:4 (fun x -> x) [])
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check int) "jobs" 3 (Pool.jobs p);
+      Alcotest.(check (list int)) "first batch" [ 1; 2; 3 ] (Pool.map p succ [ 0; 1; 2 ]);
+      Alcotest.(check (list string)) "second batch, other type" [ "0"; "1" ]
+        (Pool.map p string_of_int [ 0; 1 ]))
+
+let test_pool_exception_propagates () =
+  (* the smallest failing index wins, exactly as in a sequential run *)
+  let f x = if x mod 3 = 0 then failwith (string_of_int x) else x in
+  Alcotest.check_raises "smallest index" (Failure "0") (fun () ->
+      ignore (Pool.run ~jobs:4 f (List.init 20 Fun.id)));
+  Alcotest.check_raises "later failure" (Failure "9") (fun () ->
+      ignore (Pool.run ~jobs:4 (fun x -> if x >= 9 then failwith (string_of_int x) else x)
+                (List.init 20 Fun.id)))
+
+let test_pool_shutdown () =
+  let p = Pool.create ~jobs:2 () in
+  Alcotest.(check (list int)) "usable" [ 0 ] (Pool.map p Fun.id [ 0 ]);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "map after shutdown" (Invalid_argument "Pool.map: pool is shut down")
+    (fun () -> ignore (Pool.map p Fun.id [ 0 ]))
+
+let prop_pool_run_is_map =
+  QCheck.Test.make ~name:"Pool.run = List.map for any jobs" ~count:50
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) -> Pool.run ~jobs (fun x -> x + 1) xs = List.map (fun x -> x + 1) xs)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_percentile_monotone =
@@ -207,7 +256,7 @@ let prop_rng_int_in_range =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
-      [ prop_percentile_monotone; prop_mean_between_min_max; prop_correlation_bounded; prop_rng_int_in_range ]
+      [ prop_percentile_monotone; prop_mean_between_min_max; prop_correlation_bounded; prop_rng_int_in_range; prop_pool_run_is_map ]
   in
   Alcotest.run "prelude"
     [
@@ -227,6 +276,15 @@ let () =
           Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli;
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "choose distinct" `Quick test_rng_choose;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          Alcotest.test_case "map matches sequential" `Quick test_pool_map_matches_sequential;
+          Alcotest.test_case "more workers than items" `Quick test_pool_more_workers_than_items;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
         ] );
       ( "stats",
         [

@@ -154,7 +154,8 @@ let micro_instances () =
 
 let test_runner_ressched () =
   let insts = micro_instances () in
-  let tat, cpu = Runner.ressched ~validate:true ~algos:Algo.ressched_main ~scenario:"s" insts in
+  let r = Runner.ressched ~validate:true ~algos:Algo.ressched_main ~scenario:"s" insts in
+  let tat = r.Runner.tat and cpu = r.Runner.cpu_hours in
   Alcotest.(check int) "algos" 4 (Array.length tat.algos);
   Array.iter
     (fun per_algo -> Alcotest.(check int) "instances" 4 (Array.length per_algo))
@@ -170,7 +171,8 @@ let test_runner_ressched () =
 let test_runner_deadline () =
   let insts = micro_instances () in
   let algos = Algo.deadline_hybrid in
-  let tight, cpu = Runner.deadline ~validate:true ~algos ~scenario:"s" insts in
+  let r = Runner.deadline ~validate:true ~algos ~scenario:"s" insts in
+  let tight = r.Runner.tightest and cpu = r.Runner.loose_cpu_hours in
   Alcotest.(check int) "algos" (List.length algos) (Array.length tight.algos);
   (* robust algorithms must find finite tightest deadlines *)
   Array.iteri
@@ -183,6 +185,28 @@ let test_runner_deadline () =
           per_algo)
     tight.values;
   ignore cpu
+
+let test_runner_parallel_deterministic () =
+  (* the determinism contract: worker count must not change any matrix *)
+  let app = { Scenario.label = "t"; params = { Dag_gen.default with n = 10 } } in
+  let res = { Scenario.log = Log_model.osc_cluster; phi = 0.2; method_ = Reservation_gen.Expo } in
+  List.iter
+    (fun (seed, scenario) ->
+      let insts = Instance.synthetic ~seed ~app ~res ~n_dags:2 ~n_cals:2 in
+      let seq = Runner.ressched ~jobs:1 ~algos:Algo.ressched_main ~scenario insts in
+      let par = Runner.ressched ~jobs:4 ~algos:Algo.ressched_main ~scenario insts in
+      Alcotest.(check bool) (scenario ^ ": tat identical") true
+        (seq.Runner.tat.values = par.Runner.tat.values);
+      Alcotest.(check bool) (scenario ^ ": cpu identical") true
+        (seq.Runner.cpu_hours.values = par.Runner.cpu_hours.values))
+    [ (11, "s1"); (12, "s2"); (13, "s3") ]
+
+let test_runner_worker_exception () =
+  (* a crash on a worker domain must propagate to the caller, not hang *)
+  let insts = micro_instances () in
+  let boom : Algo.ressched = { name = "BOOM"; run = (fun _ _ -> failwith "boom") } in
+  Alcotest.check_raises "worker failure propagates" (Failure "boom") (fun () ->
+      ignore (Runner.ressched ~jobs:4 ~algos:[ boom ] ~scenario:"s" insts))
 
 (* ------------------------------------------------------------------ *)
 (* Experiments (micro scale) *)
@@ -442,6 +466,8 @@ let () =
         [
           Alcotest.test_case "ressched validated" `Quick test_runner_ressched;
           Alcotest.test_case "deadline validated" `Slow test_runner_deadline;
+          Alcotest.test_case "parallel = sequential" `Quick test_runner_parallel_deterministic;
+          Alcotest.test_case "worker exception propagates" `Quick test_runner_worker_exception;
         ] );
       ( "campaign",
         [
