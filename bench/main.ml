@@ -164,14 +164,39 @@ let bench_table10 () =
     ~labels:(List.map fst sweeps) table
 
 (* ------------------------------------------------------------------ *)
+(* Observability: MPRES_TRACE=<path> enables the Mp_obs probes, prints a
+   per-section counter/latency report, and writes a Chrome trace (<path>)
+   plus a machine-readable BENCH_obs.json next to it at exit. *)
+
+let trace_path = Sys.getenv_opt "MPRES_TRACE"
 
 (* Every scenario section prints its own wall-clock, so BENCH_* trajectories
-   show where the time goes — and what the MPRES_JOBS fan-out buys. *)
+   show where the time goes — and what the MPRES_JOBS fan-out buys.  With
+   MPRES_TRACE set it also prints the section's probe deltas. *)
 let section title f =
   Printf.printf "\n=== %s ===\n\n%!" title;
+  let before =
+    if trace_path = None then None else Some (Mp_obs.Snapshot.take ())
+  in
   let t0 = Unix.gettimeofday () in
   f ();
-  Printf.printf "\n[%s: %.2f s wall-clock]\n%!" title (Unix.gettimeofday () -. t0)
+  Printf.printf "\n[%s: %.2f s wall-clock]\n%!" title (Unix.gettimeofday () -. t0);
+  match before with
+  | None -> ()
+  | Some earlier ->
+      let delta = Mp_obs.Snapshot.sub (Mp_obs.Snapshot.take ()) ~earlier in
+      let text = Mp_obs.Report.text delta in
+      if text <> "" then Printf.printf "[%s: probes]\n%s%!" title text
+
+let write_obs_artifacts path =
+  let snap = Mp_obs.Snapshot.take () in
+  Mp_obs.Trace.write_chrome path snap;
+  let json_path = Filename.concat (Filename.dirname path) "BENCH_obs.json" in
+  Out_channel.with_open_bin json_path (fun oc ->
+      Out_channel.output_string oc (Mp_obs.Report.to_json snap));
+  Printf.printf "\n=== Observability (MPRES_TRACE) ===\n\n%s" (Mp_obs.Report.text snap);
+  Printf.printf "\nChrome trace written to %s (load in Perfetto / chrome://tracing)\n" path;
+  Printf.printf "Machine-readable probe dump written to %s\n%!" json_path
 
 let () =
   (* surface the per-scenario wall-clock lines logged by Mp_sim.Experiments *)
@@ -180,6 +205,11 @@ let () =
   Printf.printf
     "mpres benchmark harness (scale: n_app=%d n_res=%d n_dags=%d n_cals=%d, jobs=%d; set MPRES_SCALE / MPRES_JOBS to change)\n"
     scale.n_app scale.n_res scale.n_dags scale.n_cals jobs;
+  (match trace_path with
+  | Some path ->
+      Mp_obs.enabled := true;
+      Printf.printf "tracing enabled (MPRES_TRACE=%s)\n" path
+  | None -> ());
   let total0 = Unix.gettimeofday () in
   Mp_prelude.Pool.with_pool ~jobs (fun pool ->
       section "Table 1 (application parameters are the generator defaults; see DESIGN.md)"
@@ -211,4 +241,5 @@ let () =
           Experiments.print_pareto_ablation ~pool scale);
       section "Ablation: pessimistic estimates" (fun () ->
           Experiments.print_estimate_ablation ~pool scale));
+  Option.iter write_obs_artifacts trace_path;
   Printf.printf "\nDone in %.2f s wall-clock (jobs=%d).\n" (Unix.gettimeofday () -. total0) jobs

@@ -29,6 +29,34 @@ module Scenario = Mp_sim.Scenario
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (deterministic).")
 
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "MPRES_TRACE")
+        ~doc:
+          "Enable the Mp_obs probes and write a Chrome trace_event JSON to $(docv) (load it in \
+           Perfetto or chrome://tracing); a text report of counters and probe latencies goes to \
+           stderr.  Probes never change scheduling decisions.")
+
+(* Run [f] with the probes on, then write the Chrome trace and print the
+   text report to stderr (stdout carries the subcommand's own output). *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Mp_obs.enabled := true;
+      let finally () =
+        Mp_obs.enabled := false;
+        let snap = Mp_obs.Snapshot.take () in
+        Mp_obs.Trace.write_chrome path snap;
+        let text = Mp_obs.Report.text snap in
+        if text <> "" then Printf.eprintf "%s" text;
+        Printf.eprintf "chrome trace written to %s\n%!" path
+      in
+      Fun.protect ~finally f
+
 let dag_params_t =
   let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Number of tasks.") in
   let alpha = Arg.(value & opt float 0.2 & info [ "alpha" ] ~doc:"Max sequential fraction.") in
@@ -166,7 +194,8 @@ let unknown_algo name =
   Format.eprintf "unknown algorithm %S.@.Known algorithms: %s@." name algo_listing;
   exit 1
 
-let schedule seed params log phi method_ shape algo_name gantt svg_file json =
+let schedule seed params log phi method_ shape algo_name gantt svg_file json trace =
+  with_trace trace @@ fun () ->
   match Algo.find algo_name with
   | None -> unknown_algo algo_name
   | Some (`Deadline _) ->
@@ -203,12 +232,13 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Solve RESSCHED on a random instance")
     Term.(
       const schedule $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ algo_t
-      $ gantt_t $ svg_t $ json_t)
+      $ gantt_t $ svg_t $ json_t $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* deadline *)
 
-let deadline seed params log phi method_ shape algo_name deadline_s gantt svg_file =
+let deadline seed params log phi method_ shape algo_name deadline_s gantt svg_file trace =
+  with_trace trace @@ fun () ->
   match Algo.find algo_name with
   | None -> unknown_algo algo_name
   | Some (`Ressched _) ->
@@ -252,19 +282,20 @@ let deadline_cmd =
     (Cmd.info "deadline" ~doc:"Solve RESSCHEDDL on a random instance")
     Term.(
       const deadline $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ algo $ dl
-      $ gantt_t $ svg_t)
+      $ gantt_t $ svg_t $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
 
-let experiment scale_name table jobs =
+let experiment scale_name table jobs trace =
   if jobs < 1 then begin
     Format.eprintf "--jobs must be at least 1@.";
     exit 1
   end;
+  with_trace trace @@ fun () ->
   match Experiments.scale_of_string scale_name with
   | None ->
-      Format.eprintf "unknown scale %S (quick, standard, paper)@." scale_name;
+      Format.eprintf "unknown scale %S (tiny, quick, standard, paper)@." scale_name;
       exit 1
   | Some scale -> (
       match table with
@@ -306,7 +337,7 @@ let jobs_t =
 
 let experiment_cmd =
   let scale =
-    Arg.(value & opt string "quick" & info [ "scale" ] ~doc:"Scale: quick, standard, paper.")
+    Arg.(value & opt string "quick" & info [ "scale" ] ~doc:"Scale: tiny, quick, standard, paper.")
   in
   let table =
     Arg.(
@@ -317,7 +348,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate the paper's tables")
-    Term.(const experiment $ scale $ table $ jobs_t)
+    Term.(const experiment $ scale $ table $ jobs_t $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 
@@ -325,13 +356,49 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
 
+let version = "1.1.0"
+
+(* One line per subcommand, printed on a bare or unknown invocation (the
+   full option listings stay in 'mpres <command> --help'). *)
+let subcommand_summaries =
+  [
+    ("gen-dag", "draw a random or classic application DAG (--shape, --dot)");
+    ("gen-log", "draw a synthetic workload log as SWF (--log, --phi, --days)");
+    ("schedule", "solve RESSCHED on a random instance (--algo, --gantt, --svg, --trace out.json)");
+    ("deadline", "solve RESSCHEDDL, fixed or tightest deadline (--algo, --deadline, --trace out.json)");
+    ("experiment", "regenerate the paper's tables (--scale, --jobs, --trace out.json)");
+  ]
+
+let print_summary oc =
+  Printf.fprintf oc "mpres %s — mixed-parallel scheduling with advance reservations\n\n" version;
+  Printf.fprintf oc "usage: mpres <command> [options]\n\n";
+  List.iter (fun (name, doc) -> Printf.fprintf oc "  %-11s %s\n" name doc) subcommand_summaries;
+  Printf.fprintf oc
+    "\nRun 'mpres <command> --help' for the full option listing, 'mpres --version' for the \
+     version.\n"
+
 let () =
   (* --verbose is handled before cmdliner so every subcommand accepts it *)
   let argv = Array.to_list Sys.argv in
   let verbose = List.mem "--verbose" argv in
   setup_logs verbose;
   let argv = Array.of_list (List.filter (fun a -> a <> "--verbose") argv) in
-  let info = Cmd.info "mpres" ~version:"1.0.0" ~doc:"Mixed-parallel scheduling with advance reservations" in
+  (* pre-dispatch: a bare 'mpres' or an unknown subcommand gets the
+     one-line-per-subcommand summary instead of cmdliner's usage error *)
+  let known = List.map fst subcommand_summaries in
+  (match Array.to_list argv with
+  | _ :: [] ->
+      print_summary stdout;
+      exit 0
+  | _ :: first :: _
+    when (not (String.length first > 0 && first.[0] = '-'))
+         && not (List.exists (String.starts_with ~prefix:first) known)
+         (* cmdliner accepts unambiguous prefixes; only reject real typos *) ->
+      Printf.eprintf "mpres: unknown command %S\n\n" first;
+      print_summary stderr;
+      exit 124
+  | _ -> ());
+  let info = Cmd.info "mpres" ~version ~doc:"Mixed-parallel scheduling with advance reservations" in
   exit
     (Cmd.eval ~argv
        (Cmd.group info [ gen_dag_cmd; gen_log_cmd; schedule_cmd; deadline_cmd; experiment_cmd ]))

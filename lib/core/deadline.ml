@@ -17,6 +17,11 @@ let aggressive_name = function
 
 let conservative_name = function DL_RC_CPA -> "DL_RC_CPA" | DL_RC_CPAR -> "DL_RC_CPAR"
 
+let c_tasks_placed = Mp_obs.Counter.make "deadline.tasks_placed"
+let c_probes = Mp_obs.Counter.make "deadline.tightest.probes"
+let sp_place = Mp_obs.Span.make "deadline.place"
+let sp_backward = Mp_obs.Span.make "deadline.backward"
+
 (* Latest-start placement among the task's distinct-duration processor
    counts up to a per-task bound: the aggressive move, also used as
    fallback by the conservative algorithms. *)
@@ -64,6 +69,7 @@ let place_conservative cal task ~dl ~threshold ~max_np =
    bottom-level order.  [place] decides one task's slot given the current
    calendar and the task's completion deadline. *)
 let backward ~order (env : Env.t) dag ~deadline ~place =
+  Mp_obs.Span.wrap sp_backward @@ fun () ->
   let nb = Dag.n dag in
   let slots = Array.make nb ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
   let placed = Array.make nb false in
@@ -77,9 +83,13 @@ let backward ~order (env : Env.t) dag ~deadline ~place =
           (fun acc j -> min acc slots.(j).Schedule.start)
           deadline (Dag.succs dag i)
       in
-      match place !cal ~i ~dl ~placed with
+      Mp_obs.Span.enter sp_place;
+      let slot = place !cal ~i ~dl ~placed in
+      Mp_obs.Span.exit sp_place;
+      match slot with
       | None -> None
       | Some (s, fin, np) ->
+          Mp_obs.Counter.incr c_tasks_placed;
           cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
           slots.(i) <- { start = s; finish = fin; procs = np };
           placed.(i) <- true;
@@ -162,6 +172,7 @@ let tightest ?(resolution = 60) algo env dag =
   let rec bracket hi attempts =
     if attempts = 0 then None
     else begin
+      Mp_obs.Counter.incr c_probes;
       match algo ~deadline:hi with
       | Some sched -> Some (hi, sched)
       | None -> bracket (hi * 2) (attempts - 1)
@@ -174,6 +185,7 @@ let tightest ?(resolution = 60) algo env dag =
         if hi - lo <= resolution then best
         else begin
           let mid = lo + ((hi - lo) / 2) in
+          Mp_obs.Counter.incr c_probes;
           match algo ~deadline:mid with
           | Some sched -> search lo mid (mid, sched)
           | None -> search mid hi best

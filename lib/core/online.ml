@@ -3,7 +3,11 @@ module Calendar = Mp_platform.Calendar
 module Reservation = Mp_platform.Reservation
 module Schedule = Mp_cpa.Schedule
 
+let sp_schedule = Mp_obs.Span.make "online.schedule"
+let c_granted = Mp_obs.Counter.make "online.reservations_granted"
+
 let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~events dag =
+  Mp_obs.Span.wrap sp_schedule @@ fun () ->
   let order = Bottom_level.order bl env dag in
   let bounds = Bound.bounds bd env dag in
   let slots = Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
@@ -16,6 +20,7 @@ let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~e
           (fun r ->
             match Calendar.reserve_opt !cal r with
             | Some cal' ->
+                Mp_obs.Counter.incr c_granted;
                 cal := cal';
                 granted := r :: !granted
             | None -> () (* the competitor lost the race for that slot *))

@@ -6,12 +6,19 @@ module Schedule = Mp_cpa.Schedule
 
 let name ~bl ~bd = Bottom_level.name bl ^ "_" ^ Bound.name bd
 
+let c_tasks_placed = Mp_obs.Counter.make "ressched.tasks_placed"
+let c_early_cuts = Mp_obs.Counter.make "ressched.early_cuts"
+let sp_place = Mp_obs.Span.make "ressched.place"
+let sp_schedule = Mp_obs.Span.make "ressched.schedule"
+
 (* Earliest-completion placement of one task: completion time is not
    monotone in the processor count because of reservation holes, so every
    {e distinct} duration is examined (the O(R·N) inner loop of the paper's
    complexity analysis; counts inside an Amdahl plateau are dominated by
    the plateau's first count and skipped, see {!Task.alloc_candidates}). *)
 let place cal task ~ready ~bound =
+  Mp_obs.Counter.incr c_tasks_placed;
+  Mp_obs.Span.enter sp_place;
   (* Candidates are visited by descending processor count (ascending
      duration): once [ready + dur] exceeds the best completion found, no
      remaining (longer) candidate can win, completion being at least
@@ -23,7 +30,9 @@ let place cal task ~ready ~bound =
     | np :: rest -> (
         let dur = Task.exec_time task np in
         match best with
-        | Some (_, bf, _) when ready + dur > bf -> best
+        | Some (_, bf, _) when ready + dur > bf ->
+            Mp_obs.Counter.incr c_early_cuts;
+            best
         | _ -> (
             match Calendar.earliest_fit cal ~after:ready ~procs:np ~dur with
             | None -> go best rest
@@ -36,12 +45,17 @@ let place cal task ~ready ~bound =
                 in
                 go (if better then Some ((s, fin, np), fin, np) else best) rest))
   in
-  match go None candidates with
-  | Some (slot, _, _) -> slot
-  | None -> assert false (* np = 1 always fits eventually *)
+  let r =
+    match go None candidates with
+    | Some (slot, _, _) -> slot
+    | None -> assert false (* np = 1 always fits eventually *)
+  in
+  Mp_obs.Span.exit sp_place;
+  r
 
 let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) ?(now = 0) (env : Env.t) dag =
   if now < 0 then invalid_arg "Ressched.schedule: now < 0";
+  Mp_obs.Span.wrap sp_schedule @@ fun () ->
   let order = Bottom_level.order bl env dag in
   let bounds = Bound.bounds bd env dag in
   let slots = Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in

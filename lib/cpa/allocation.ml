@@ -4,6 +4,10 @@ module Analysis = Mp_dag.Analysis
 
 type criterion = Classic | Improved
 
+let c_calls = Mp_obs.Counter.make "cpa.allocate.calls"
+let c_iterations = Mp_obs.Counter.make "cpa.iterations"
+let t_allocate = Mp_obs.Timer.make "cpa.allocate"
+
 let weights dag ~allocs =
   Array.mapi (fun i tk -> Task.exec_time_f tk allocs.(i)) (Dag.tasks dag)
 
@@ -13,6 +17,8 @@ let min_gain = 1e-4
 
 let allocate ?(criterion = Improved) ~p dag =
   if p < 1 then invalid_arg "Allocation.allocate: p < 1";
+  Mp_obs.Counter.incr c_calls;
+  let obs_t0 = Mp_obs.Timer.start () in
   let nb = Dag.n dag in
   let allocs = Array.make nb 1 in
   let caps =
@@ -57,6 +63,7 @@ let allocate ?(criterion = Improved) ~p dag =
       match !best with
       | None -> () (* no critical-path task can usefully grow: stop *)
       | Some (i, _) ->
+          Mp_obs.Counter.incr c_iterations;
           total_work := !total_work -. (float_of_int allocs.(i) *. w.(i));
           allocs.(i) <- allocs.(i) + 1;
           w.(i) <- Task.exec_time_f tasks.(i) allocs.(i);
@@ -65,4 +72,5 @@ let allocate ?(criterion = Improved) ~p dag =
     end
   in
   loop ();
+  Mp_obs.Timer.stop t_allocate obs_t0;
   allocs

@@ -4,6 +4,10 @@ module Analysis = Mp_dag.Analysis
 module Calendar = Mp_platform.Calendar
 module Reservation = Mp_platform.Reservation
 
+let c_calls = Mp_obs.Counter.make "cpa.mapping.calls"
+let c_placements = Mp_obs.Counter.make "cpa.mapping.placements"
+let t_map = Mp_obs.Timer.make "cpa.map"
+
 let bl_order dag ~weights =
   let bl = Analysis.bottom_levels dag ~weights in
   let idx = Array.init (Dag.n dag) (fun i -> i) in
@@ -15,6 +19,8 @@ let bl_order dag ~weights =
 let map dag ~allocs ~p =
   if Array.length allocs <> Dag.n dag then invalid_arg "Mapping.map: allocs length mismatch";
   Array.iter (fun a -> if a < 1 || a > p then invalid_arg "Mapping.map: allocation outside [1, p]") allocs;
+  Mp_obs.Counter.incr c_calls;
+  let obs_t0 = Mp_obs.Timer.start () in
   let weights = Allocation.weights dag ~allocs in
   let order = bl_order dag ~weights in
   let slots =
@@ -31,9 +37,11 @@ let map dag ~allocs ~p =
       match Calendar.earliest_fit !cal ~after:ready ~procs:np ~dur with
       | None -> assert false (* np <= p on an empty-calendar cluster always fits *)
       | Some s ->
+          Mp_obs.Counter.incr c_placements;
           cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:(s + dur) ~procs:np);
           slots.(i) <- { start = s; finish = s + dur; procs = np })
     order;
+  Mp_obs.Timer.stop t_map obs_t0;
   { Schedule.slots }
 
 let map_subset dag ~allocs ~p ~keep =

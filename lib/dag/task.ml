@@ -11,13 +11,21 @@ let exec_time_f t np =
 
 let exec_time t np = max 1 (int_of_float (ceil (exec_time_f t np)))
 
+(* Processor counts skipped because their rounded duration equals a
+   smaller count's (the output-preserving pruning of DESIGN.md). *)
+let c_plateau_prunes = Mp_obs.Counter.make "amdahl.plateau_prunes"
+
 let alloc_candidates t ~max_np =
   if max_np < 1 then invalid_arg "Task.alloc_candidates: max_np < 1";
   let rec go np prev acc =
     if np > max_np then List.rev acc
     else begin
       let e = exec_time t np in
-      if e < prev then go (np + 1) e (np :: acc) else go (np + 1) prev acc
+      if e < prev then go (np + 1) e (np :: acc)
+      else begin
+        Mp_obs.Counter.incr c_plateau_prunes;
+        go (np + 1) prev acc
+      end
     end
   in
   go 1 max_int []

@@ -1,5 +1,17 @@
 module Imap = Map.Make (Int)
 
+(* Observability probes (single branch, no allocation when Mp_obs is
+   disabled): call counts and latency of the fit queries — the hot path —
+   plus which query path (array vs map) answered. *)
+let c_earliest_fit = Mp_obs.Counter.make "calendar.earliest_fit.calls"
+let c_latest_fit = Mp_obs.Counter.make "calendar.latest_fit.calls"
+let c_reserve = Mp_obs.Counter.make "calendar.reserve.calls"
+let c_array_path = Mp_obs.Counter.make "calendar.fit.array_path"
+let c_map_path = Mp_obs.Counter.make "calendar.fit.map_path"
+let t_earliest_fit = Mp_obs.Timer.make "calendar.earliest_fit"
+let t_latest_fit = Mp_obs.Timer.make "calendar.latest_fit"
+let t_reserve = Mp_obs.Timer.make "calendar.reserve"
+
 (* [steps] maps a breakpoint time to the number of available processors
    from that time (inclusive) until the next breakpoint.  Invariants:
    - there is always a breakpoint at [min_int] (so lookups never miss);
@@ -138,6 +150,8 @@ let affected_breakpoints steps ~start ~finish =
   collect [] (Imap.to_seq_from start steps)
 
 let reserve t (r : Reservation.t) =
+  Mp_obs.Counter.incr c_reserve;
+  let t0 = Mp_obs.Timer.start () in
   if not (can_reserve t r) then raise (Overcommitted r);
   let steps = cut (cut t.steps r.start) r.finish in
   (* Only breakpoints inside [start, finish) change, so touch just those
@@ -147,7 +161,9 @@ let reserve t (r : Reservation.t) =
   let steps =
     List.fold_left (fun m (time, v) -> Imap.add time (v - r.procs) m) steps affected
   in
-  mk t.procs steps
+  let t' = mk t.procs steps in
+  Mp_obs.Timer.stop t_reserve t0;
+  t'
 
 let reserve_opt t r = if can_reserve t r then Some (reserve t r) else None
 
@@ -231,12 +247,22 @@ let earliest_fit_map steps ~after ~procs ~dur =
 let earliest_fit t ~after ~procs ~dur =
   if procs < 1 then invalid_arg "Calendar.earliest_fit: procs < 1";
   if dur < 1 then invalid_arg "Calendar.earliest_fit: dur < 1";
-  if procs > t.procs then None
-  else begin
-    match arrays t with
-    | Some arr -> earliest_fit_arrays arr ~after ~procs ~dur
-    | None -> earliest_fit_map t.steps ~after ~procs ~dur
-  end
+  Mp_obs.Counter.incr c_earliest_fit;
+  let t0 = Mp_obs.Timer.start () in
+  let r =
+    if procs > t.procs then None
+    else begin
+      match arrays t with
+      | Some arr ->
+          Mp_obs.Counter.incr c_array_path;
+          earliest_fit_arrays arr ~after ~procs ~dur
+      | None ->
+          Mp_obs.Counter.incr c_map_path;
+          earliest_fit_map t.steps ~after ~procs ~dur
+    end
+  in
+  Mp_obs.Timer.stop t_earliest_fit t0;
+  r
 
 (* --- latest_fit ------------------------------------------------------- *)
 
@@ -279,13 +305,23 @@ let latest_fit_map t ~earliest ~finish_by ~procs ~dur =
 let latest_fit t ~earliest ~finish_by ~procs ~dur =
   if procs < 1 then invalid_arg "Calendar.latest_fit: procs < 1";
   if dur < 1 then invalid_arg "Calendar.latest_fit: dur < 1";
-  if procs > t.procs then None
-  else if finish_by - dur < earliest then None
-  else begin
-    match arrays t with
-    | Some arr -> latest_fit_arrays arr ~earliest ~finish_by ~procs ~dur
-    | None -> latest_fit_map t ~earliest ~finish_by ~procs ~dur
-  end
+  Mp_obs.Counter.incr c_latest_fit;
+  let t0 = Mp_obs.Timer.start () in
+  let r =
+    if procs > t.procs then None
+    else if finish_by - dur < earliest then None
+    else begin
+      match arrays t with
+      | Some arr ->
+          Mp_obs.Counter.incr c_array_path;
+          latest_fit_arrays arr ~earliest ~finish_by ~procs ~dur
+      | None ->
+          Mp_obs.Counter.incr c_map_path;
+          latest_fit_map t ~earliest ~finish_by ~procs ~dur
+    end
+  in
+  Mp_obs.Timer.stop t_latest_fit t0;
+  r
 
 let busy_rectangles t ~from_ ~until =
   if from_ >= until then invalid_arg "Calendar.busy_rectangles: empty window";

@@ -11,6 +11,9 @@
 
 type slot = Idle | Work of (unit -> unit)
 
+let sp_worker = Mp_obs.Span.make "pool.worker"
+let c_batches = Mp_obs.Counter.make "pool.batches"
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -36,7 +39,7 @@ let worker t w =
         Mutex.unlock t.mutex
     | Work f ->
         Mutex.unlock t.mutex;
-        f ();
+        Mp_obs.Span.wrap sp_worker f;
         Mutex.lock t.mutex;
         t.slots.(w) <- Idle;
         t.busy <- t.busy - 1;
@@ -83,6 +86,7 @@ let map_array t f items =
   if t.jobs = 1 && t.closed then invalid_arg "Pool.map: pool is shut down";
   if n = 0 then [||]
   else begin
+    Mp_obs.Counter.incr c_batches;
     let results = Array.make n None in
     if t.jobs > 1 then begin
       Mutex.lock t.mutex;
@@ -106,7 +110,7 @@ let map_array t f items =
       Mutex.unlock t.mutex
     end;
     (* the calling domain takes the last stripe *)
-    stripe results items f n t.jobs (t.jobs - 1) ();
+    Mp_obs.Span.wrap sp_worker (stripe results items f n t.jobs (t.jobs - 1));
     if t.jobs > 1 then begin
       Mutex.lock t.mutex;
       while t.busy > 0 do

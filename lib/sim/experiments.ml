@@ -20,11 +20,13 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type scale = { seed : int; n_app : int; n_res : int; n_dags : int; n_cals : int }
 
+let tiny = { seed = 42; n_app = 1; n_res = 2; n_dags = 1; n_cals = 2 }
 let quick = { seed = 42; n_app = 3; n_res = 4; n_dags = 2; n_cals = 2 }
 let standard = { seed = 42; n_app = 10; n_res = 9; n_dags = 3; n_cals = 5 }
 let paper = { seed = 42; n_app = 40; n_res = 36; n_dags = 20; n_cals = 50 }
 
 let scale_of_string = function
+  | "tiny" -> Some tiny
   | "quick" -> Some quick
   | "standard" -> Some standard
   | "paper" -> Some paper
@@ -440,6 +442,53 @@ let print_table7 ?pool ?jobs scale =
   let tight, cpu = table7 ?pool ?jobs scale in
   Report.print ~title:"Table 7: hybrid deadline algorithms, Grid'5000 schedules"
     ~header:deadline_header ~rows:(Report.summary_rows tight cpu)
+
+(* The exact text of [standard_tables.out] at any scale: Tables 4-7 and
+   the Section 4.3.1 comparison, with ===Tn===/===BL=== separators.  The
+   golden-file regression test renders it at {!tiny} scale, so formatting
+   or algorithm drift shows up in [dune runtest] instead of only in the
+   checked-in artifact. *)
+let standard_tables ?pool ?jobs scale =
+  with_pool ?pool ?jobs (fun p ->
+      let buf = Buffer.create 4096 in
+      let tat4, cpu4 = table4 ~pool:p scale in
+      Buffer.add_string buf
+        (Report.render ~title:"Table 4: RESSCHED, synthetic reservation schedules"
+           ~header:ressched_header ~rows:(Report.summary_rows tat4 cpu4));
+      Buffer.add_string buf "===T5===\n";
+      let tat5, cpu5 = table5 ~pool:p scale in
+      Buffer.add_string buf
+        (Report.render ~title:"Table 5: RESSCHED, Grid'5000 reservation schedules"
+           ~header:ressched_header ~rows:(Report.summary_rows tat5 cpu5));
+      Buffer.add_string buf "===T6===\n";
+      List.iter
+        (fun (label, tight, cpu) ->
+          Buffer.add_string buf
+            (Report.render
+               ~title:(Printf.sprintf "Table 6 (%s): deadline algorithms" label)
+               ~header:deadline_header ~rows:(Report.summary_rows tight cpu));
+          Buffer.add_char buf '\n')
+        (table6 ~pool:p scale);
+      Buffer.add_string buf "===T7===\n";
+      let tight7, cpu7 = table7 ~pool:p scale in
+      Buffer.add_string buf
+        (Report.render ~title:"Table 7: hybrid deadline algorithms, Grid'5000 schedules"
+           ~header:deadline_header ~rows:(Report.summary_rows tight7 cpu7));
+      Buffer.add_string buf "===BL===\n";
+      let c = bl_comparison ~pool:p scale in
+      Buffer.add_string buf
+        (Report.render
+           ~title:"Section 4.3.1: bottom-level method comparison (improvement over BL_1)"
+           ~header:[ "quantity"; "value" ]
+           ~rows:
+             ([
+                [ "min improvement [%]"; Report.f2 c.improvement_min ];
+                [ "max improvement [%]"; Report.f2 c.improvement_max ];
+              ]
+             @ List.map
+                 (fun (name, s) -> [ name ^ " best share [%]"; Report.f1 (s *. 100.) ])
+                 c.best_shares));
+      Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* Table 8 (static) *)

@@ -24,12 +24,16 @@ type scale = {
   n_cals : int;  (** reservation-schedule instances per scenario *)
 }
 
+val tiny : scale
+(** Smallest shape-preserving scale; used by the golden-file regression
+    test and the CI bench smoke job. *)
+
 val quick : scale
 val standard : scale
 val paper : scale
 
 val scale_of_string : string -> scale option
-(** ["quick"], ["standard"], ["paper"]. *)
+(** ["tiny"], ["quick"], ["standard"], ["paper"]. *)
 
 (** {1 Table 2 — workload logs} *)
 
@@ -102,6 +106,13 @@ val table7 : ?pool:Mp_prelude.Pool.t -> ?jobs:int -> scale -> Metrics.row list *
 (** Hybrid-λ algorithms on Grid'5000-style schedules. *)
 
 val print_table7 : ?pool:Mp_prelude.Pool.t -> ?jobs:int -> scale -> unit
+
+val standard_tables : ?pool:Mp_prelude.Pool.t -> ?jobs:int -> scale -> string
+(** The exact text of the [standard_tables.out] artifact at the given
+    scale: Tables 4-7 and the Section 4.3.1 comparison separated by
+    [===T5===]/[===T6===]/[===T7===]/[===BL===] markers.  The test suite
+    pins the {!tiny}-scale rendering against
+    [test/standard_tables_tiny.expected]. *)
 
 (** {1 Table 8 — complexities (static)} *)
 

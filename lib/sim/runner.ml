@@ -3,6 +3,8 @@ module Deadline = Mp_core.Deadline
 module Schedule = Mp_cpa.Schedule
 module Pool = Mp_prelude.Pool
 
+let sp_cell = Mp_obs.Span.make "runner.cell"
+
 type ressched_result = {
   tat : Metrics.scenario_result;
   cpu_hours : Metrics.scenario_result;
@@ -42,6 +44,7 @@ let ressched ?(validate = false) ?pool ?jobs ~algos ~scenario (instances : Insta
     with_pool ?pool ?jobs (fun p ->
         Pool.map_array p
           (fun c ->
+            Mp_obs.Span.wrap sp_cell @@ fun () ->
             let inst = instances.(c / n_algos) in
             let (a : Algo.ressched) = algos.(c mod n_algos) in
             let sched = a.run inst.env inst.dag in
@@ -70,6 +73,7 @@ let deadline ?(validate = false) ?pool ?jobs ?(loose_factor = 1.5) ~algos ~scena
       let prepared_tight =
         Pool.map_array p
           (fun c ->
+            Mp_obs.Span.wrap sp_cell @@ fun () ->
             let inst = instances.(c / n_algos) in
             let (a : Algo.deadline) = algos.(c mod n_algos) in
             let prepared = a.prepare inst.env inst.dag in
@@ -96,6 +100,7 @@ let deadline ?(validate = false) ?pool ?jobs ?(loose_factor = 1.5) ~algos ~scena
       let cpu =
         Pool.map_array p
           (fun c ->
+            Mp_obs.Span.wrap sp_cell @@ fun () ->
             let inst = instances.(c / n_algos) in
             let prepared, tight = prepared_tight.(c) in
             let deadline = loose.(c / n_algos) in

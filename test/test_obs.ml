@@ -1,0 +1,323 @@
+(* Mp_obs: unit tests for the probe primitives, the determinism contract
+   (tracing does not change scheduler output) and lossless merging of the
+   per-domain buffers under the Pool.
+
+   The obs registry and buffers are process-global, so every test starts
+   from [Mp_obs.reset ()] and runs the observed section under
+   [Mp_obs.with_enabled]. *)
+
+module Obs = Mp_obs
+module Rng = Mp_prelude.Rng
+module Pool = Mp_prelude.Pool
+module Dag_gen = Mp_dag.Dag_gen
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Env = Mp_core.Env
+module Ressched = Mp_core.Ressched
+module Schedule = Mp_cpa.Schedule
+
+let counter_value snap name =
+  match List.assoc_opt name snap.Obs.Snapshot.counters with Some v -> v | None -> 0
+
+let hist_opt snap name =
+  List.find_opt (fun h -> h.Obs.Snapshot.hist_name = name) snap.Obs.Snapshot.hists
+
+let events_named snap name =
+  List.filter (fun e -> e.Obs.Snapshot.span_name = name) snap.Obs.Snapshot.events
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let c_unit = Obs.Counter.make "test.counter.unit"
+let c_disabled = Obs.Counter.make "test.counter.disabled"
+
+let test_counter_incr_add () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      for _ = 1 to 5 do
+        Obs.Counter.incr c_unit
+      done;
+      Obs.Counter.add c_unit 37);
+  let snap = Obs.Snapshot.take () in
+  Alcotest.(check int) "5 incrs + add 37" 42 (counter_value snap "test.counter.unit")
+
+let test_counter_disabled_is_noop () =
+  Obs.reset ();
+  Obs.Counter.incr c_disabled;
+  Obs.Counter.add c_disabled 100;
+  let snap = Obs.Snapshot.take () in
+  Alcotest.(check int) "disabled counter stays 0" 0 (counter_value snap "test.counter.disabled")
+
+let test_reset_zeroes () =
+  Obs.reset ();
+  Obs.with_enabled (fun () -> Obs.Counter.incr c_unit);
+  Obs.reset ();
+  let snap = Obs.Snapshot.take () in
+  Alcotest.(check int) "reset zeroes counters" 0 (counter_value snap "test.counter.unit")
+
+(* ------------------------------------------------------------------ *)
+(* Timers / histograms *)
+
+let t_unit = Obs.Timer.make "test.timer.unit"
+
+let test_timer_records () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      for _ = 1 to 10 do
+        let t0 = Obs.Timer.start () in
+        (* burn a little time so elapsed > 0 *)
+        let s = ref 0 in
+        for i = 1 to 1000 do
+          s := !s + i
+        done;
+        ignore (Sys.opaque_identity !s);
+        Obs.Timer.stop t_unit t0
+      done);
+  let snap = Obs.Snapshot.take () in
+  match hist_opt snap "test.timer.unit" with
+  | None -> Alcotest.fail "timer histogram missing"
+  | Some h ->
+      Alcotest.(check int) "10 samples" 10 h.count;
+      Alcotest.(check bool) "total >= max" true (h.total_ns >= h.max_ns);
+      Alcotest.(check int) "bucket counts sum to count" h.count (Array.fold_left ( + ) 0 h.buckets)
+
+let test_timer_disabled_start_is_zero () =
+  Obs.reset ();
+  Alcotest.(check int) "start () = 0 when disabled" 0 (Obs.Timer.start ());
+  (* a t0 of 0 (started while disabled) must be dropped even if the switch
+     flips before the stop *)
+  Obs.with_enabled (fun () -> Obs.Timer.stop t_unit 0);
+  let snap = Obs.Snapshot.take () in
+  match hist_opt snap "test.timer.unit" with
+  | None -> ()
+  | Some h -> Alcotest.(check int) "no sample from disabled start" 0 h.count
+
+let test_percentile_from_buckets () =
+  (* hand-built histogram: 90 samples in bucket 4 ([16,32) ns), 10 in
+     bucket 10 ([1024,2048) ns) *)
+  let buckets = Array.make 64 0 in
+  buckets.(4) <- 90;
+  buckets.(10) <- 10;
+  let h =
+    { Obs.Snapshot.hist_name = "hand"; count = 100; total_ns = 0; max_ns = 2047; buckets }
+  in
+  let p50 = Obs.Snapshot.percentile h 0.5 in
+  let p99 = Obs.Snapshot.percentile h 0.99 in
+  Alcotest.(check bool) "p50 inside [16,32)" true (p50 >= 16. && p50 < 32.);
+  Alcotest.(check bool) "p99 inside [1024,2048)" true (p99 >= 1024. && p99 < 2048.);
+  let empty = { h with count = 0; buckets = Array.make 64 0 } in
+  Alcotest.(check bool) "empty hist -> nan" true (Float.is_nan (Obs.Snapshot.percentile empty 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let sp_outer = Obs.Span.make "test.span.outer"
+let sp_inner = Obs.Span.make "test.span.inner"
+
+let test_span_nesting () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      Obs.Span.enter sp_outer;
+      Obs.Span.enter sp_inner;
+      Obs.Span.exit sp_inner;
+      Obs.Span.exit sp_outer);
+  let snap = Obs.Snapshot.take () in
+  let outer = events_named snap "test.span.outer" in
+  let inner = events_named snap "test.span.inner" in
+  Alcotest.(check int) "one outer event" 1 (List.length outer);
+  Alcotest.(check int) "one inner event" 1 (List.length inner);
+  let o = List.hd outer and i = List.hd inner in
+  Alcotest.(check bool) "inner starts after outer" true (i.start_ns >= o.start_ns);
+  Alcotest.(check bool) "inner nested in outer" true
+    (i.start_ns + i.dur_ns <= o.start_ns + o.dur_ns);
+  Alcotest.(check bool) "events sorted by start" true
+    (let rec sorted = function
+       | a :: (b :: _ as rest) -> a.Obs.Snapshot.start_ns <= b.Obs.Snapshot.start_ns && sorted rest
+       | _ -> true
+     in
+     sorted snap.events)
+
+let test_span_wrap_on_exception () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      (try Obs.Span.wrap sp_outer (fun () -> failwith "boom") with Failure _ -> ());
+      (* the stack must be balanced again: a fresh span still records *)
+      Obs.Span.wrap sp_inner Fun.id);
+  let snap = Obs.Snapshot.take () in
+  Alcotest.(check int) "exceptional wrap recorded" 1 (List.length (events_named snap "test.span.outer"));
+  Alcotest.(check int) "stack balanced after exception" 1
+    (List.length (events_named snap "test.span.inner"))
+
+let test_span_unmatched_exit_dropped () =
+  Obs.reset ();
+  Obs.with_enabled (fun () -> Obs.Span.exit sp_outer);
+  let snap = Obs.Snapshot.take () in
+  Alcotest.(check int) "unmatched exit dropped" 0 (List.length snap.events)
+
+let test_event_cap_counts_drops () =
+  Obs.reset ();
+  Obs.set_event_cap 8;
+  Obs.with_enabled (fun () ->
+      for _ = 1 to 20 do
+        Obs.Span.wrap sp_outer Fun.id
+      done);
+  let snap = Obs.Snapshot.take () in
+  Obs.set_event_cap 1_000_000;
+  Alcotest.(check int) "events capped" 8 (List.length snap.events);
+  Alcotest.(check int) "drops counted" 12 (counter_value snap "obs.events.dropped")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot.sub, Report, Trace *)
+
+let test_snapshot_sub () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      Obs.Counter.add c_unit 3;
+      Obs.Span.wrap sp_outer Fun.id);
+  let earlier = Obs.Snapshot.take () in
+  Obs.with_enabled (fun () ->
+      Obs.Counter.add c_unit 4;
+      Obs.Span.wrap sp_outer Fun.id;
+      let t0 = Obs.Timer.start () in
+      Obs.Timer.stop t_unit t0);
+  let later = Obs.Snapshot.take () in
+  let d = Obs.Snapshot.sub later ~earlier in
+  Alcotest.(check int) "counter delta" 4 (counter_value d "test.counter.unit");
+  Alcotest.(check int) "event delta" 1 (List.length (events_named d "test.span.outer"));
+  match hist_opt d "test.timer.unit" with
+  | None -> Alcotest.fail "timer delta missing"
+  | Some h -> Alcotest.(check int) "hist delta count" 1 h.count
+
+let test_report_and_trace () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      Obs.Counter.add c_unit 7;
+      let t0 = Obs.Timer.start () in
+      Obs.Timer.stop t_unit t0;
+      Obs.Span.wrap sp_outer Fun.id);
+  let snap = Obs.Snapshot.take () in
+  let text = Obs.Report.text snap in
+  let contains hay needle =
+    let re = Re.compile (Re.str needle) in
+    Re.execp re hay
+  in
+  Alcotest.(check bool) "text mentions counter" true (contains text "test.counter.unit");
+  Alcotest.(check bool) "text mentions timer" true (contains text "test.timer.unit");
+  let json = Obs.Report.to_json snap in
+  Alcotest.(check bool) "json schema tag" true (contains json "mpres-obs-1");
+  Alcotest.(check bool) "json has p95" true (contains json "p95_ns");
+  let trace = Obs.Trace.to_chrome snap in
+  Alcotest.(check bool) "trace has traceEvents" true (contains trace "traceEvents");
+  Alcotest.(check bool) "trace has complete events" true (contains trace "\"ph\":\"X\"");
+  Alcotest.(check bool) "trace names domain tracks" true (contains trace "thread_name");
+  Alcotest.(check bool) "empty snapshot -> empty report" true (Obs.Report.text (Obs.Snapshot.sub snap ~earlier:snap) = "")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: tracing must not change scheduler output *)
+
+let busy_env ?(p = 8) ?(n_res = 10) seed =
+  let rng = Rng.create seed in
+  let rec add cal k =
+    if k = 0 then cal
+    else begin
+      let start = Rng.int rng 40_000 in
+      let dur = 600 + Rng.int rng 4_000 in
+      let procs = 1 + Rng.int rng (p / 2) in
+      match Calendar.reserve_opt cal (Reservation.make ~start ~finish:(start + dur) ~procs) with
+      | Some cal -> add cal (k - 1)
+      | None -> add cal (k - 1)
+    end
+  in
+  let calendar = add (Calendar.create ~procs:p) n_res in
+  Env.make ~calendar ~q:(Calendar.average_available calendar ~from_:0 ~until:40_000)
+
+let test_tracing_does_not_change_schedules =
+  QCheck.Test.make ~count:25 ~name:"tracing does not change scheduler output"
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let env = busy_env (s1 + 1) in
+      let dag = Dag_gen.generate (Rng.create (s2 + 1)) { Dag_gen.default with n = 15 } in
+      let blind = Ressched.schedule env dag in
+      Obs.reset ();
+      let traced = Obs.with_enabled (fun () -> Ressched.schedule env dag) in
+      Obs.reset ();
+      blind = traced)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: per-domain buffers merge losslessly under the Pool *)
+
+let c_par = Obs.Counter.make "test.par.counter"
+let t_par = Obs.Timer.make "test.par.timer"
+let sp_par = Obs.Span.make "test.par.span"
+
+let merge_under_pool jobs () =
+  Obs.reset ();
+  let n = 200 in
+  let items = Array.init n (fun i -> i) in
+  let out =
+    Obs.with_enabled (fun () ->
+        Pool.with_pool ~jobs (fun p ->
+            Pool.map_array p
+              (fun i ->
+                Obs.Span.wrap sp_par @@ fun () ->
+                Obs.Counter.add c_par i;
+                let t0 = Obs.Timer.start () in
+                Obs.Timer.stop t_par t0;
+                i * 2)
+              items))
+  in
+  Alcotest.(check int) "results merged in order" (n * (n - 1))
+    (Array.fold_left ( + ) 0 out);
+  let snap = Obs.Snapshot.take () in
+  Alcotest.(check int) "no events dropped" 0 (counter_value snap "obs.events.dropped");
+  Alcotest.(check int) "counter adds all merged" (n * (n - 1) / 2)
+    (counter_value snap "test.par.counter");
+  (match hist_opt snap "test.par.timer" with
+  | None -> Alcotest.fail "parallel timer histogram missing"
+  | Some h -> Alcotest.(check int) "timer samples all merged" n h.count);
+  let cell_events = events_named snap "test.par.span" in
+  Alcotest.(check int) "span events all merged" n (List.length cell_events);
+  (* with several workers the events must span more than one domain track *)
+  let domains =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.Snapshot.domain) cell_events)
+  in
+  if jobs > 1 then
+    Alcotest.(check bool) "events from more than one domain" true (List.length domains > 1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mp_obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "incr and add" `Quick test_counter_incr_add;
+          Alcotest.test_case "disabled is a no-op" `Quick test_counter_disabled_is_noop;
+          Alcotest.test_case "reset zeroes" `Quick test_reset_zeroes;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "records samples" `Quick test_timer_records;
+          Alcotest.test_case "disabled start is dropped" `Quick test_timer_disabled_start_is_zero;
+          Alcotest.test_case "percentiles from buckets" `Quick test_percentile_from_buckets;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "wrap on exception" `Quick test_span_wrap_on_exception;
+          Alcotest.test_case "unmatched exit dropped" `Quick test_span_unmatched_exit_dropped;
+          Alcotest.test_case "event cap counts drops" `Quick test_event_cap_counts_drops;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "sub gives section deltas" `Quick test_snapshot_sub;
+          Alcotest.test_case "report and trace render" `Quick test_report_and_trace;
+        ] );
+      ( "determinism",
+        [ QCheck_alcotest.to_alcotest test_tracing_does_not_change_schedules ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "merge under pool, jobs=2" `Quick (merge_under_pool 2);
+          Alcotest.test_case "merge under pool, jobs=4" `Quick (merge_under_pool 4);
+        ] );
+    ]

@@ -85,6 +85,43 @@ let test_metrics_summarize_mismatch () =
     (Invalid_argument "Metrics.summarize: inconsistent algorithm lists") (fun () ->
       ignore (Metrics.summarize [ r1; r2 ]))
 
+let test_metrics_all_nonfinite () =
+  (* every flavour of non-finite marks a failure; an algorithm with no
+     finite instance at all gets an infinite mean, infinite degradation,
+     and never wins *)
+  let r = result [| [| Float.nan; infinity; neg_infinity |]; [| 1.; 2.; 3. |] |] in
+  let m = Metrics.scenario_means r in
+  Alcotest.(check bool) "all-non-finite mean is infinite" true (m.(0) = infinity);
+  Alcotest.(check (float 1e-9)) "finite algo unaffected" 2. m.(1);
+  let d = Metrics.degradations r in
+  Alcotest.(check bool) "failed algo degrades infinitely" true (d.(0) = infinity);
+  Alcotest.(check (float 1e-9)) "surviving algo is best" 0. d.(1);
+  Alcotest.(check (array bool)) "failed algo never wins" [| false; true |] (Metrics.winners r)
+
+let test_metrics_tie_wins_exceed_scenarios () =
+  (* means within the 1e-9 relative tolerance all win, so the win columns
+     can sum past the scenario count — the .mli documents this as the
+     reason the paper's columns do too *)
+  let r1 = result [| [| 1. |]; [| 1. +. 1e-10 |]; [| 2. |] |] in
+  let r2 = result [| [| 3. |]; [| 3. |]; [| 4. |] |] in
+  let rows = Metrics.summarize [ r1; r2 ] in
+  let total_wins = List.fold_left (fun acc (r : Metrics.row) -> acc + r.wins) 0 rows in
+  Alcotest.(check int) "near-tie and exact tie both count" 4 total_wins;
+  Alcotest.(check bool) "wins sum past scenario count" true
+    (total_wins > List.length [ r1; r2 ])
+
+let test_metrics_winner_invariants =
+  QCheck.Test.make ~count:100 ~name:"metrics: a winner always exists and is at 0 degradation"
+    QCheck.(
+      array_of_size (Gen.int_range 1 4)
+        (array_of_size (Gen.int_range 1 5) (float_range 0.1 1000.)))
+    (fun values ->
+      let r = result values in
+      let d = Metrics.degradations r and w = Metrics.winners r in
+      Array.exists Fun.id w
+      && Array.for_all (fun x -> x >= 0.) d
+      && Array.exists2 (fun win deg -> win && deg <= 1e-6) w d)
+
 (* ------------------------------------------------------------------ *)
 (* Report *)
 
@@ -215,10 +252,25 @@ let test_experiments_scales () =
   Alcotest.(check bool) "quick" true (Experiments.scale_of_string "quick" = Some Experiments.quick);
   Alcotest.(check bool) "paper" true (Experiments.scale_of_string "paper" = Some Experiments.paper);
   Alcotest.(check bool) "unknown" true (Experiments.scale_of_string "nope" = None);
+  Alcotest.(check bool) "tiny" true (Experiments.scale_of_string "tiny" = Some Experiments.tiny);
   Alcotest.(check int) "paper app specs" 40 Experiments.paper.n_app;
   Alcotest.(check int) "paper res specs" 36 Experiments.paper.n_res;
   Alcotest.(check int) "paper dags" 20 Experiments.paper.n_dags;
   Alcotest.(check int) "paper cals" 50 Experiments.paper.n_cals
+
+(* Golden-file regression: the exact standard_tables.out rendering at tiny
+   scale, pinned against a checked-in file so report-formatting or
+   algorithm drift is caught by [dune runtest] instead of by eyeballing
+   the repository-root artifact.  Regenerate the file by printing
+   [Experiments.standard_tables ~jobs:1 Experiments.tiny]. *)
+let test_standard_tables_golden () =
+  let path =
+    if Sys.file_exists "standard_tables_tiny.expected" then "standard_tables_tiny.expected"
+    else Filename.concat "test" "standard_tables_tiny.expected"
+  in
+  let expected = In_channel.with_open_bin path In_channel.input_all in
+  let actual = Experiments.standard_tables ~jobs:1 Experiments.tiny in
+  Alcotest.(check string) "tiny-scale tables match golden file" expected actual
 
 let test_experiments_table2 () =
   let rows = Experiments.table2 micro in
@@ -449,6 +501,9 @@ let () =
           Alcotest.test_case "non-finite filtered" `Quick test_metrics_nonfinite_filtered;
           Alcotest.test_case "summarize" `Quick test_metrics_summarize;
           Alcotest.test_case "summarize mismatch" `Quick test_metrics_summarize_mismatch;
+          Alcotest.test_case "all-non-finite" `Quick test_metrics_all_nonfinite;
+          Alcotest.test_case "tie wins exceed scenarios" `Quick test_metrics_tie_wins_exceed_scenarios;
+          QCheck_alcotest.to_alcotest test_metrics_winner_invariants;
         ] );
       ( "report",
         [
@@ -487,6 +542,7 @@ let () =
       ( "experiments",
         [
           Alcotest.test_case "scales" `Quick test_experiments_scales;
+          Alcotest.test_case "standard tables golden file" `Slow test_standard_tables_golden;
           Alcotest.test_case "table2" `Slow test_experiments_table2;
           Alcotest.test_case "table4 shape" `Slow test_experiments_table4_shape;
           Alcotest.test_case "allocator ablation" `Slow test_experiments_allocator_ablation;
