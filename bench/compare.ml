@@ -1,0 +1,69 @@
+(* Perf-regression gate: diff a fresh BENCH_core.json against a committed
+   baseline (see Mp_forensics.Baseline for the schema and tolerances).
+
+   Run with:
+     dune exec bench/compare.exe -- \
+       --baseline bench/baseline_tiny.json --current BENCH_core.json
+
+   Exit status: 0 when within tolerances, 1 on regression (or unreadable
+   input), 2 on usage errors. *)
+
+module Baseline = Mp_forensics.Baseline
+
+let usage () =
+  prerr_endline
+    "usage: compare --baseline FILE --current FILE [--wall-factor F] [--wall-slop S] \
+     [--counter-factor F]";
+  exit 2
+
+let () =
+  let baseline = ref None
+  and current = ref None
+  and wall_factor = ref 2.0
+  and wall_slop = ref 0.25
+  and counter_factor = ref 1.05 in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "--current" :: v :: rest ->
+        current := Some v;
+        parse rest
+    | "--wall-factor" :: v :: rest ->
+        (match float_of_string_opt v with Some f -> wall_factor := f | None -> usage ());
+        parse rest
+    | "--wall-slop" :: v :: rest ->
+        (match float_of_string_opt v with Some f -> wall_slop := f | None -> usage ());
+        parse rest
+    | "--counter-factor" :: v :: rest ->
+        (match float_of_string_opt v with Some f -> counter_factor := f | None -> usage ());
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match (!baseline, !current) with Some b, Some c -> (b, c) | _ -> usage ()
+  in
+  let load what path =
+    match Baseline.load path with
+    | Ok run -> run
+    | Error msg ->
+        Printf.eprintf "compare: cannot load %s %s: %s\n" what path msg;
+        exit 1
+  in
+  let base = load "baseline" baseline_path in
+  let cur = load "current run" current_path in
+  let verdict =
+    Baseline.compare ~wall_factor:!wall_factor ~wall_slop:!wall_slop
+      ~counter_factor:!counter_factor ~baseline:base ~current:cur ()
+  in
+  List.iter print_endline verdict.lines;
+  if verdict.ok then begin
+    Printf.printf "OK: no perf regression against %s\n" baseline_path;
+    exit 0
+  end
+  else begin
+    Printf.printf "REGRESSION against %s (see FAIL lines above)\n" baseline_path;
+    exit 1
+  end

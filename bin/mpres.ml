@@ -6,6 +6,8 @@
      gen-log     draw a synthetic workload log and print it as SWF
      schedule    solve RESSCHED on a random instance and print the schedule
      deadline    solve RESSCHEDDL (fixed deadline or tightest-deadline search)
+     explain     solve an instance with the decision journal on and render
+                 the forensics report (text, JSONL, SVG, or HTML)
      experiment  regenerate the paper's tables *)
 
 open Cmdliner
@@ -18,6 +20,10 @@ module Reservation_gen = Mp_workload.Reservation_gen
 module Schedule = Mp_cpa.Schedule
 module Algo = Mp_core.Algo
 module Deadline = Mp_core.Deadline
+module Env = Mp_core.Env
+module Journal = Mp_forensics.Journal
+module Analytics = Mp_forensics.Analytics
+module Render = Mp_forensics.Render
 module Workflows = Mp_dag.Workflows
 module Experiments = Mp_sim.Experiments
 module Instance = Mp_sim.Instance
@@ -126,13 +132,67 @@ let dag_of ~seed ~params shape =
           Format.eprintf "unknown shape %S@." other;
           exit 1)
 
-let instance_of ~seed ~params ~log ~phi ~method_ ~shape =
+(* One-line fatal error: unreadable or malformed input files must exit
+   non-zero with a message, never a raw backtrace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "mpres: %s\n" msg;
+      exit 1)
+    fmt
+
+(* Derive the scheduling environment from a real SWF workload log (the
+   paper's methodology: tag a fraction phi of jobs as reservations, pick
+   a random scheduling instant, reshape the future schedule). *)
+let env_of_swf ~seed ~phi ~method_ path =
+  let jobs = try Swf.load path with Sys_error msg -> die "%s" msg in
+  let rng = Rng.create seed in
+  let tagged = Reservation_gen.tag rng ~phi jobs in
+  if tagged = [] then die "%s: no jobs usable as reservations (phi too small or empty log?)" path;
+  let at = Reservation_gen.random_instant rng tagged in
+  let procs = List.fold_left (fun acc (j : Mp_workload.Job.t) -> max acc j.procs) 1 jobs in
+  let sched = Reservation_gen.extract rng method_ ~procs ~at tagged in
+  Env.make ~calendar:(Reservation_gen.calendar sched) ~q:(Reservation_gen.historical_average sched)
+
+let instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () =
   let app = { Scenario.label = "cli"; params } in
   let res = { Scenario.log; phi; method_ } in
   match Instance.synthetic ~seed ~app ~res ~n_dags:1 ~n_cals:1 with
-  | [ inst ] -> (
-      match shape with None -> inst | Some _ -> { inst with dag = dag_of ~seed ~params shape })
+  | [ inst ] ->
+      let inst =
+        match swf_file with
+        | None -> inst
+        | Some path -> { inst with Instance.env = env_of_swf ~seed ~phi ~method_ path }
+      in
+      let inst =
+        match dag_file with
+        | None -> (
+            match shape with None -> inst | Some _ -> { inst with dag = dag_of ~seed ~params shape })
+        | Some path -> (
+            match Mp_dag.Dag_io.load path with
+            | Ok dag -> { inst with Instance.dag = dag }
+            | Error msg -> die "%s" msg)
+      in
+      inst
   | _ -> assert false
+
+let dag_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dag" ] ~docv:"FILE"
+        ~doc:
+          "Read the application DAG from $(docv) (line format: 'task <id> <seq> <alpha>' and \
+           'edge <pred> <succ>', '#' comments) instead of generating one.")
+
+let swf_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "swf" ] ~docv:"FILE"
+        ~doc:
+          "Derive the reservation calendar from this SWF workload log (tagged with --phi, \
+           reshaped with --method) instead of a synthetic preset.")
 
 (* ------------------------------------------------------------------ *)
 (* gen-dag *)
@@ -194,7 +254,8 @@ let unknown_algo name =
   Format.eprintf "unknown algorithm %S.@.Known algorithms: %s@." name algo_listing;
   exit 1
 
-let schedule seed params log phi method_ shape algo_name gantt svg_file json trace =
+let schedule seed params log phi method_ shape dag_file swf_file algo_name gantt svg_file json
+    trace =
   with_trace trace @@ fun () ->
   match Algo.find algo_name with
   | None -> unknown_algo algo_name
@@ -204,7 +265,7 @@ let schedule seed params log phi method_ shape algo_name gantt svg_file json tra
         algo_name;
       exit 1
   | Some (`Ressched algo) ->
-      let inst = instance_of ~seed ~params ~log ~phi ~method_ ~shape in
+      let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
       let sched = algo.run inst.env inst.dag in
       (match Schedule.validate inst.dag ~base:inst.env.calendar sched with
       | Ok () -> ()
@@ -231,13 +292,14 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Solve RESSCHED on a random instance")
     Term.(
-      const schedule $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ algo_t
-      $ gantt_t $ svg_t $ json_t $ trace_t)
+      const schedule $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ dag_file_t
+      $ swf_file_t $ algo_t $ gantt_t $ svg_t $ json_t $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* deadline *)
 
-let deadline seed params log phi method_ shape algo_name deadline_s gantt svg_file trace =
+let deadline seed params log phi method_ shape dag_file swf_file algo_name deadline_s gantt
+    svg_file trace =
   with_trace trace @@ fun () ->
   match Algo.find algo_name with
   | None -> unknown_algo algo_name
@@ -247,7 +309,7 @@ let deadline seed params log phi method_ shape algo_name deadline_s gantt svg_fi
         algo_name algo_name;
       exit 1
   | Some (`Deadline algo) -> (
-      let inst = instance_of ~seed ~params ~log ~phi ~method_ ~shape in
+      let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
       match deadline_s with
       | Some k -> (
           match algo.run inst.env inst.dag ~deadline:k with
@@ -281,8 +343,133 @@ let deadline_cmd =
   Cmd.v
     (Cmd.info "deadline" ~doc:"Solve RESSCHEDDL on a random instance")
     Term.(
-      const deadline $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ algo $ dl
-      $ gantt_t $ svg_t $ trace_t)
+      const deadline $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ dag_file_t
+      $ swf_file_t $ algo $ dl $ gantt_t $ svg_t $ trace_t)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+(* Solve the instance with the decision journal on, then render the
+   forensics report.  The journal is record-only: the schedule is
+   bit-identical to what 'mpres schedule'/'mpres deadline' emit
+   (pinned by test_forensics.ml). *)
+let explain seed params log phi method_ shape dag_file swf_file algo_name deadline_s format out
+    trace =
+  with_trace trace @@ fun () ->
+  let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
+  (* For deadline algorithms, resolve the deadline first (tightest search
+     probes many deadlines — journaling only the final run keeps the
+     story readable). *)
+  let run, header =
+    match Algo.find algo_name with
+    | None -> unknown_algo algo_name
+    | Some (`Ressched algo) ->
+        ((fun () -> algo.run inst.env inst.dag), Printf.sprintf "algorithm %s" algo.name)
+    | Some (`Deadline algo) -> (
+        let k =
+          match deadline_s with
+          | Some k -> k
+          | None -> (
+              match Deadline.tightest (algo.prepare inst.env inst.dag) inst.env inst.dag with
+              | Some (k, _) -> k
+              | None -> die "no feasible deadline found for %s" algo_name)
+        in
+        ( (fun () ->
+            match algo.run inst.env inst.dag ~deadline:k with
+            | Some sched -> sched
+            | None -> die "deadline %d cannot be met by %s" k algo_name),
+          Printf.sprintf "algorithm %s, deadline %d s%s" algo.name k
+            (if deadline_s = None then " (tightest)" else "") ))
+  in
+  Journal.reset ();
+  let sched = Journal.with_enabled run in
+  let entries = Journal.take () in
+  let turnaround = Schedule.turnaround sched in
+  let until = max 1 turnaround in
+  let final_cal =
+    List.fold_left Mp_platform.Calendar.reserve inst.env.calendar (Schedule.reservations sched)
+  in
+  let analytics = Analytics.analyze final_cal ~from_:0 ~until in
+  let slots =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : Schedule.slot) ->
+           { Render.label = string_of_int i; start = s.start; finish = s.finish; procs = s.procs })
+         sched.Schedule.slots)
+  in
+  let text_report () =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s on %d tasks, p=%d q=%d; turnaround %d s\n\n" header
+         (Mp_dag.Dag.n inst.dag) inst.env.p inst.env.q turnaround);
+    Buffer.add_string buf (Journal.story entries);
+    Buffer.add_string buf (Format.asprintf "@.%a@." Analytics.pp analytics);
+    Buffer.contents buf
+  in
+  let output =
+    match format with
+    | `Text -> text_report ()
+    | `Json ->
+        Journal.to_jsonl entries
+        ^ Printf.sprintf "{\"event\":\"analytics\",\"data\":%s}\n" (Analytics.to_json analytics)
+    | `Svg -> Render.gantt_svg ~base:inst.env.calendar ~slots ()
+    | `Html ->
+        Render.html ~title:header
+          ~gantt:(Render.gantt_svg ~base:inst.env.calendar ~slots ())
+          ~profile:(Render.profile_svg inst.env.calendar ~from_:0 ~until)
+          ~analytics:(Format.asprintf "%a" Analytics.pp analytics)
+          ~story:(Journal.story entries)
+  in
+  match out with
+  | None -> print_string output
+  | Some path -> (
+      match
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc output)
+      with
+      | () -> Format.printf "forensics report written to %s@." path
+      | exception Sys_error msg -> die "%s" msg)
+
+let explain_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt string "BD_CPAR"
+      & info [ "algo" ]
+          ~doc:
+            (Printf.sprintf
+               "Algorithm name (RESSCHED or RESSCHEDDL). Known algorithms: %s." algo_listing))
+  in
+  let dl =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Deadline for RESSCHEDDL algorithms; omit to search for the tightest one.  Ignored \
+             by RESSCHED algorithms.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("svg", `Svg); ("html", `Html) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output: $(b,text) (decision story + calendar analytics), $(b,json) (JSONL journal \
+             + analytics object), $(b,svg) (Gantt overlaid on the reservation calendar), \
+             $(b,html) (self-contained report embedding all of the above).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Solve an instance with the decision journal on and render the forensics report")
+    Term.(
+      const explain $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ dag_file_t
+      $ swf_file_t $ algo $ dl $ format $ out $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -366,6 +553,7 @@ let subcommand_summaries =
     ("gen-log", "draw a synthetic workload log as SWF (--log, --phi, --days)");
     ("schedule", "solve RESSCHED on a random instance (--algo, --gantt, --svg, --trace out.json)");
     ("deadline", "solve RESSCHEDDL, fixed or tightest deadline (--algo, --deadline, --trace out.json)");
+    ("explain", "decision journal + calendar analytics for one run (--format text|json|svg|html)");
     ("experiment", "regenerate the paper's tables (--scale, --jobs, --trace out.json)");
   ]
 
@@ -401,4 +589,5 @@ let () =
   let info = Cmd.info "mpres" ~version ~doc:"Mixed-parallel scheduling with advance reservations" in
   exit
     (Cmd.eval ~argv
-       (Cmd.group info [ gen_dag_cmd; gen_log_cmd; schedule_cmd; deadline_cmd; experiment_cmd ]))
+       (Cmd.group info
+          [ gen_dag_cmd; gen_log_cmd; schedule_cmd; deadline_cmd; explain_cmd; experiment_cmd ]))

@@ -31,36 +31,76 @@ let place_latest cal task ~dl ~bound =
      candidate can start later, so the scan stops.  On loose deadlines the
      very first candidate ends the loop. *)
   let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
+  if !Mp_forensics.Journal.enabled then
+    Mp_forensics.Journal.begin_placement Mp_forensics.Journal.Backward ~task:task.Task.id
+      ~anchor:dl ~bound ~evaluated:(List.length candidates);
   let rec go best = function
     | [] -> best
     | np :: rest -> (
         let dur = Task.exec_time task np in
         match best with
-        | Some (bs, _, _) when dl - dur < bs -> best
+        | Some (bs, _, _) when dl - dur < bs ->
+            Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Early_cut;
+            best
         | _ -> (
             match Calendar.latest_fit cal ~earliest:0 ~finish_by:dl ~procs:np ~dur with
-            | None -> go best rest
-            | Some s ->
+            | None ->
+                Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
+                go best rest
+            | Some s as fit ->
                 let better =
                   match best with None -> true | Some (bs, _, bnp) -> s > bs || (s = bs && np < bnp)
                 in
+                Mp_forensics.Journal.cand ~procs:np ~dur ~fit
+                  (if better then Mp_forensics.Journal.Leading else Mp_forensics.Journal.Beaten);
                 go (if better then Some (s, s + dur, np) else best) rest))
   in
-  go None candidates
+  match go None candidates with
+  | Some (s, fin, np) as slot ->
+      Mp_forensics.Journal.end_placement ~procs:np ~start:s ~finish:fin;
+      slot
+  | None ->
+      Mp_forensics.Journal.end_placement_failed ();
+      None
 
 (* Fewest processors whose earliest feasible start clears [threshold] while
-   still finishing by [dl]. *)
-let place_conservative cal task ~dl ~threshold ~max_np =
+   still finishing by [dl].  [jctx] carries (reference, lambda) for the
+   decision journal only — never consulted by the placement itself. *)
+let place_conservative ?jctx cal task ~dl ~threshold ~max_np =
   let threshold = max 0 threshold in
+  if !Mp_forensics.Journal.enabled then begin
+    let candidates = Task.alloc_candidates task ~max_np in
+    Mp_forensics.Journal.begin_placement Mp_forensics.Journal.Conservative ~task:task.Task.id
+      ~anchor:dl ~bound:max_np ~evaluated:(List.length candidates);
+    match jctx with
+    | Some (reference, lambda) -> Mp_forensics.Journal.note_reference ~reference ~threshold ~lambda
+    | None -> ()
+  end;
   let rec try_candidates = function
-    | [] -> None
+    | [] ->
+        Mp_forensics.Journal.end_placement_failed ();
+        None
     | np :: rest ->
         let dur = Task.exec_time task np in
-        if threshold + dur > dl then try_candidates rest
+        if threshold + dur > dl then begin
+          Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Window_closed;
+          try_candidates rest
+        end
         else begin
           match Calendar.earliest_fit cal ~after:threshold ~procs:np ~dur with
-          | Some s when s + dur <= dl -> Some (s, s + dur, np)
-          | Some _ | None -> try_candidates rest
+          | Some s when s + dur <= dl ->
+              if !Mp_forensics.Journal.enabled then begin
+                Mp_forensics.Journal.cand ~procs:np ~dur ~fit:(Some s)
+                  Mp_forensics.Journal.Leading;
+                Mp_forensics.Journal.end_placement ~procs:np ~start:s ~finish:(s + dur)
+              end;
+              Some (s, s + dur, np)
+          | Some _ as fit ->
+              Mp_forensics.Journal.cand ~procs:np ~dur ~fit Mp_forensics.Journal.Misses_deadline;
+              try_candidates rest
+          | None ->
+              Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
+              try_candidates rest
         end
   in
   try_candidates (Task.alloc_candidates task ~max_np)
@@ -137,7 +177,10 @@ let conservative_prepared ?(bounded_fallback = false) algo (env : Env.t) dag =
         let threshold =
           reference + int_of_float (Float.round (lambda *. float_of_int (dl - reference)))
         in
-        match place_conservative cal (Dag.task dag i) ~dl ~threshold ~max_np:env.p with
+        let jctx =
+          if !Mp_forensics.Journal.enabled then Some (reference, lambda) else None
+        in
+        match place_conservative ?jctx cal (Dag.task dag i) ~dl ~threshold ~max_np:env.p with
         | Some slot -> Some slot
         | None -> place_latest cal (Dag.task dag i) ~dl ~bound:(max 1 fallback_bounds.(i)))
 

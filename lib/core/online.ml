@@ -17,18 +17,26 @@ let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~e
     (fun k i ->
       if k < Array.length events then
         List.iter
-          (fun r ->
+          (fun (r : Reservation.t) ->
             match Calendar.reserve_opt !cal r with
             | Some cal' ->
                 Mp_obs.Counter.incr c_granted;
+                Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
+                  ~granted:true;
                 cal := cal';
                 granted := r :: !granted
-            | None -> () (* the competitor lost the race for that slot *))
+            | None ->
+                (* the competitor lost the race for that slot *)
+                Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
+                  ~granted:false)
           events.(k);
       let ready =
         Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) 0 (Dag.preds dag i)
       in
-      let s, fin, np = Ressched.place !cal (Dag.task dag i) ~ready ~bound:(max 1 bounds.(i)) in
+      let s, fin, np =
+        Ressched.place ~kind:Mp_forensics.Journal.Online_forward !cal (Dag.task dag i) ~ready
+          ~bound:(max 1 bounds.(i))
+      in
       cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
       slots.(i) <- { start = s; finish = fin; procs = np })
     order;

@@ -16,7 +16,7 @@ let sp_schedule = Mp_obs.Span.make "ressched.schedule"
    {e distinct} duration is examined (the O(R·N) inner loop of the paper's
    complexity analysis; counts inside an Amdahl plateau are dominated by
    the plateau's first count and skipped, see {!Task.alloc_candidates}). *)
-let place cal task ~ready ~bound =
+let place ?(kind = Mp_forensics.Journal.Forward) cal task ~ready ~bound =
   Mp_obs.Counter.incr c_tasks_placed;
   Mp_obs.Span.enter sp_place;
   (* Candidates are visited by descending processor count (ascending
@@ -25,6 +25,9 @@ let place cal task ~ready ~bound =
      [ready + dur] — so the scan stops, which on lightly loaded calendars
      reduces the inner loop to a handful of fit queries. *)
   let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
+  if !Mp_forensics.Journal.enabled then
+    Mp_forensics.Journal.begin_placement kind ~task:task.Task.id ~anchor:ready ~bound
+      ~evaluated:(List.length candidates);
   let rec go best = function
     | [] -> best
     | np :: rest -> (
@@ -32,22 +35,29 @@ let place cal task ~ready ~bound =
         match best with
         | Some (_, bf, _) when ready + dur > bf ->
             Mp_obs.Counter.incr c_early_cuts;
+            Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Early_cut;
             best
         | _ -> (
             match Calendar.earliest_fit cal ~after:ready ~procs:np ~dur with
-            | None -> go best rest
-            | Some s ->
+            | None ->
+                Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
+                go best rest
+            | Some s as fit ->
                 let fin = s + dur in
                 let better =
                   match best with
                   | None -> true
                   | Some (_, bf, bnp) -> fin < bf || (fin = bf && np < bnp)
                 in
+                Mp_forensics.Journal.cand ~procs:np ~dur ~fit
+                  (if better then Mp_forensics.Journal.Leading else Mp_forensics.Journal.Beaten);
                 go (if better then Some ((s, fin, np), fin, np) else best) rest))
   in
   let r =
     match go None candidates with
-    | Some (slot, _, _) -> slot
+    | Some ((s, fin, np), _, _) ->
+        Mp_forensics.Journal.end_placement ~procs:np ~start:s ~finish:fin;
+        (s, fin, np)
     | None -> assert false (* np = 1 always fits eventually *)
   in
   Mp_obs.Span.exit sp_place;

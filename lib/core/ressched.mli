@@ -34,9 +34,16 @@ val name : bl:Bottom_level.method_ -> bd:Bound.method_ -> string
 (** E.g. ["BL_CPAR_BD_CPA"]. *)
 
 val place :
-  Mp_platform.Calendar.t -> Mp_dag.Task.t -> ready:int -> bound:int -> int * int * int
+  ?kind:Mp_forensics.Journal.kind ->
+  Mp_platform.Calendar.t ->
+  Mp_dag.Task.t ->
+  ready:int ->
+  bound:int ->
+  int * int * int
 (** One earliest-completion placement decision: the ⟨start, finish,
     processors⟩ pair (processors in [\[1, bound\]]) with the earliest
     completion at or after [ready], ties toward fewer processors.  Exposed
     for the {!Online} and ablation schedulers, which share the placement
-    rule but drive the calendar differently. *)
+    rule but drive the calendar differently.  [kind] (default [Forward])
+    only tags the {!Mp_forensics.Journal} entry when journaling is on; it
+    never affects the decision. *)

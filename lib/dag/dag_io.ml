@@ -1,0 +1,74 @@
+let of_string text =
+  let tasks = ref [] (* (id, seq, alpha) *) in
+  let edges = ref [] in
+  let err = ref None in
+  let fail lineno msg = if !err = None then err := Some (lineno, msg) in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  List.iteri
+    (fun k line ->
+      let lineno = k + 1 in
+      let line = String.trim (strip_comment line) in
+      if line <> "" then
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "task"; id; seq; alpha ] -> (
+            match (int_of_string_opt id, float_of_string_opt seq, float_of_string_opt alpha) with
+            | Some id, Some seq, Some alpha -> tasks := (id, seq, alpha) :: !tasks
+            | _ -> fail lineno "malformed task line (want: task <id> <seq> <alpha>)")
+        | [ "edge"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> edges := (a, b) :: !edges
+            | _ -> fail lineno "malformed edge line (want: edge <pred> <succ>)")
+        | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w)
+        | [] -> ())
+    (String.split_on_char '\n' text);
+  match !err with
+  | Some (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  | None -> (
+      let tasks = List.sort compare !tasks in
+      let n = List.length tasks in
+      if n = 0 then Error "no tasks"
+      else if List.exists (fun (id, _, _) -> id < 0 || id >= n) tasks
+              || List.length (List.sort_uniq compare (List.map (fun (id, _, _) -> id) tasks)) <> n
+      then Error "task ids must be exactly 0 .. n-1"
+      else
+        match
+          Dag.make
+            (Array.of_list (List.map (fun (id, seq, alpha) -> Task.make ~id ~seq ~alpha) tasks))
+            (List.rev !edges)
+        with
+        | dag -> Ok dag
+        | exception Invalid_argument msg -> Error msg)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match of_string text with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* Shortest decimal form that parses back to the same double, so
+   [of_string (to_string dag)] reproduces the task times bit-exactly. *)
+let float_str f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string dag =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# mpres dag: %d tasks\n" (Dag.n dag));
+  Array.iter
+    (fun (tk : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %d %s %s\n" tk.id (float_str tk.seq) (float_str tk.alpha)))
+    (Dag.tasks dag);
+  List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" a b)) (Dag.edges dag);
+  Buffer.contents buf
+
+let save path dag =
+  match Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string dag)) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

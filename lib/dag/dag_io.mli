@@ -1,0 +1,28 @@
+(** Plain-text DAG files for the [mpres --dag FILE] options.
+
+    The format is line-oriented; blank lines and [#] comments are
+    ignored:
+
+    {v
+    # quickstart workflow
+    task 0 100.0 0.1     # task <id> <seq seconds> <alpha>
+    task 1 2000.0 0.05
+    edge 0 1             # edge <pred id> <succ id>
+    v}
+
+    Task ids must be [0 .. n-1] (any order in the file); the edge list
+    must satisfy the single-entry/single-exit and acyclicity rules of
+    {!Dag.make}. *)
+
+val load : string -> (Dag.t, string) result
+(** Read a DAG from a file.  [Error] carries a one-line message naming
+    the file and the offending line — I/O errors, syntax errors, and
+    {!Dag.make} validation errors all land here, never as exceptions. *)
+
+val of_string : string -> (Dag.t, string) result
+(** Parse from a string (the file contents); used by [load] and tests. *)
+
+val to_string : Dag.t -> string
+(** Render in the same format; [of_string (to_string d)] round-trips. *)
+
+val save : string -> Dag.t -> (unit, string) result

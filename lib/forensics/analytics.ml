@@ -1,0 +1,146 @@
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+
+type hole = { start : int; finish : int; procs : int }
+
+type t = {
+  from_ : int;
+  until : int;
+  procs : int;
+  busy_area : int;
+  idle_area : int;
+  utilization : float;
+  idle_fraction : float;
+  holes : hole list;
+  hole_histogram : (int * int) array;
+  fragmentation : float;
+}
+
+(* Rectangle decomposition of the idle profile: sweep the segments keeping
+   a stack of open rectangles; availability increases open rectangles,
+   decreases close the most recent ones (splitting processor counts as
+   needed) — the same sweep as [Calendar.busy_rectangles], run on the
+   availability level instead of the busy level. *)
+let idle_rectangles cal ~from_ ~until =
+  let open_stack = ref [] (* (start, procs), most recent first *) in
+  let finished = ref [] in
+  let close_until time target =
+    let rec go () =
+      let total = List.fold_left (fun acc (_, p) -> acc + p) 0 !open_stack in
+      if total > target then begin
+        match !open_stack with
+        | [] -> assert false
+        | (start, p) :: rest ->
+            let excess = total - target in
+            if p <= excess then begin
+              open_stack := rest;
+              finished := { start; finish = time; procs = p } :: !finished;
+              go ()
+            end
+            else begin
+              open_stack := (start, p - excess) :: rest;
+              finished := { start; finish = time; procs = excess } :: !finished
+            end
+      end
+    in
+    go ()
+  in
+  let current () = List.fold_left (fun acc (_, p) -> acc + p) 0 !open_stack in
+  Calendar.fold_segments cal ~from_ ~until ~init:() ~f:(fun () ~start ~finish:_ ~avail ->
+      let cur = current () in
+      if avail > cur then open_stack := (start, avail - cur) :: !open_stack
+      else if avail < cur then close_until start avail);
+  close_until until 0;
+  List.sort (fun a b -> compare (a.start, a.finish) (b.start, b.finish)) !finished
+
+let log2_bucket n =
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  if n <= 1 then 0 else go 0 n
+
+let analyze cal ~from_ ~until =
+  if from_ >= until then invalid_arg "Analytics.analyze: empty window";
+  let procs = Calendar.procs cal in
+  let span = until - from_ in
+  let idle_area =
+    Calendar.fold_segments cal ~from_ ~until ~init:0 ~f:(fun acc ~start ~finish ~avail ->
+        acc + (avail * (finish - start)))
+  in
+  let busy_area = (procs * span) - idle_area in
+  let holes = idle_rectangles cal ~from_ ~until in
+  let hist = Array.make 63 0 in
+  let largest = ref 0 in
+  List.iter
+    (fun h ->
+      let b = log2_bucket (h.finish - h.start) in
+      hist.(b) <- hist.(b) + 1;
+      let area = h.procs * (h.finish - h.start) in
+      if area > !largest then largest := area)
+    holes;
+  let hole_histogram =
+    Array.of_list
+      (List.filter_map
+         (fun i -> if hist.(i) > 0 then Some (i, hist.(i)) else None)
+         (List.init 63 Fun.id))
+  in
+  let total = float_of_int (procs * span) in
+  {
+    from_;
+    until;
+    procs;
+    busy_area;
+    idle_area;
+    utilization = float_of_int busy_area /. total;
+    idle_fraction = float_of_int idle_area /. total;
+    holes;
+    hole_histogram;
+    fragmentation =
+      (if idle_area = 0 then 0.
+       else 1. -. (float_of_int !largest /. float_of_int idle_area));
+  }
+
+let occupancy cal ~from_ ~until reservations =
+  if from_ >= until then invalid_arg "Analytics.occupancy: empty window";
+  let procs = Calendar.procs cal in
+  let span = until - from_ in
+  let idle_area =
+    Calendar.fold_segments cal ~from_ ~until ~init:0 ~f:(fun acc ~start ~finish ~avail ->
+        acc + (avail * (finish - start)))
+  in
+  let busy_area = (procs * span) - idle_area in
+  List.map
+    (fun (r : Reservation.t) ->
+      let overlap = min until r.finish - max from_ r.start in
+      let area = if overlap > 0 then r.procs * overlap else 0 in
+      let share = if busy_area = 0 then 0. else float_of_int area /. float_of_int busy_area in
+      (r, area, share))
+    reservations
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>window [%d, %d) on %d processors@," t.from_ t.until t.procs;
+  Format.fprintf ppf "utilization    %.1f%% (%d busy / %d idle cpu-s)@," (100. *. t.utilization)
+    t.busy_area t.idle_area;
+  Format.fprintf ppf "fragmentation  %.3f (%d idle holes)@," t.fragmentation
+    (List.length t.holes);
+  if Array.length t.hole_histogram > 0 then begin
+    Format.fprintf ppf "idle-hole durations (log2 buckets):@,";
+    Array.iter
+      (fun (i, n) ->
+        Format.fprintf ppf "  [%ds, %ds)  %d@," (if i = 0 then 0 else 1 lsl i) (1 lsl (i + 1)) n)
+      t.hole_histogram
+  end;
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"from\":%d,\"until\":%d,\"procs\":%d,\"busy_area\":%d,\"idle_area\":%d,\"utilization\":%.6f,\"idle_fraction\":%.6f,\"fragmentation\":%.6f,\"n_holes\":%d,\"hole_histogram\":["
+       t.from_ t.until t.procs t.busy_area t.idle_area t.utilization t.idle_fraction
+       t.fragmentation (List.length t.holes));
+  Array.iteri
+    (fun k (i, n) ->
+      if k > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"bucket\":%d,\"count\":%d}" i n))
+    t.hole_histogram;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Calendar utilization analytics over a time window.
+
+    Computed from the persistent step function of
+    {!Mp_platform.Calendar} — record-only, never fed back into
+    scheduling.  Areas are exact integer processor-seconds, so
+    [busy_area + idle_area = procs * (until - from_)] always holds and
+    {!utilization} [+] {!idle_fraction} sums to 1 (pinned by a qcheck
+    property in [test_forensics.ml]). *)
+
+type hole = { start : int; finish : int; procs : int }
+(** A maximal idle rectangle: [procs] processors free over
+    [\[start, finish)]. *)
+
+type t = {
+  from_ : int;
+  until : int;
+  procs : int;  (** cluster size *)
+  busy_area : int;  (** reserved processor-seconds over the window *)
+  idle_area : int;  (** free processor-seconds over the window *)
+  utilization : float;  (** [busy_area / (procs * (until - from_))] *)
+  idle_fraction : float;  (** [idle_area / (procs * (until - from_))] *)
+  holes : hole list;
+      (** rectangle decomposition of the idle profile, in start order;
+          hole areas sum exactly to [idle_area] *)
+  hole_histogram : (int * int) array;
+      (** non-empty log₂ duration buckets: [(i, count)] counts holes whose
+          duration in seconds lies in [\[2{^i}, 2{^i+1})] *)
+  fragmentation : float;
+      (** [1 - largest hole area / idle_area]: 0 when the free capacity is
+          one contiguous block (or the window is fully busy), approaching
+          1 as the free capacity shatters into many small holes *)
+}
+
+val analyze : Mp_platform.Calendar.t -> from_:int -> until:int -> t
+(** Requires [from_ < until]. *)
+
+val occupancy :
+  Mp_platform.Calendar.t ->
+  from_:int ->
+  until:int ->
+  Mp_platform.Reservation.t list ->
+  (Mp_platform.Reservation.t * int * float) list
+(** Per-reservation occupancy attribution: for each reservation, its
+    processor-seconds inside the window and its share of the calendar's
+    busy area (0 when the window is fully idle).  Shares sum to 1 when
+    the given reservations are exactly the calendar's content. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line text report (utilization, fragmentation, hole
+    histogram). *)
+
+val to_json : t -> string
+(** Single JSON object (embedded in [mpres explain --format json]
+    output and the HTML report). *)

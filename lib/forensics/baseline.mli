@@ -1,0 +1,64 @@
+(** Persisted perf-baseline harness for the benchmark suite.
+
+    [bench/main.exe] writes a {!run} to [BENCH_core.json] (schema
+    ["mpres-bench-core-1"]) after every invocation: per-section
+    wall-clock plus the key [Mp_obs] counter deltas when tracing was on.
+    [bench/compare.exe] reads a committed baseline and a fresh run and
+    {!compare}s them with tolerances, exiting non-zero on regression —
+    wall-clock within a generous multiplicative factor (machines differ),
+    counters exactly-scaled (the algorithms are deterministic, so counter
+    growth is a real algorithmic regression, not noise).
+
+    The JSON reader is a minimal recursive-descent parser for the subset
+    this schema uses (objects, arrays, strings, numbers, booleans,
+    null); it is not a general-purpose JSON library. *)
+
+type section = {
+  name : string;
+  wall_s : float;  (** wall-clock seconds for the section *)
+  counters : (string * float) list;
+      (** [Mp_obs] counter deltas observed during the section; empty when
+          the run was not traced *)
+}
+
+type run = {
+  schema : string;  (** ["mpres-bench-core-1"] *)
+  scale : string;  (** [MPRES_SCALE] in effect: tiny | standard | paper *)
+  jobs : int;  (** worker domains used *)
+  total_s : float;  (** end-to-end wall-clock seconds *)
+  sections : section list;
+}
+
+val schema_version : string
+
+val to_json : run -> string
+(** Serialize (pretty enough to diff; one section per line). *)
+
+val of_json : string -> (run, string) result
+(** Parse a [BENCH_core.json] document.  [Error] carries a one-line
+    description with the byte offset of the failure. *)
+
+val load : string -> (run, string) result
+(** Read and parse a file; I/O errors become [Error]. *)
+
+type verdict = { ok : bool; lines : string list }
+(** [lines] holds one human-readable line per comparison performed;
+    regressions are prefixed with ["FAIL"]. *)
+
+val compare :
+  ?wall_factor:float ->
+  ?wall_slop:float ->
+  ?counter_factor:float ->
+  baseline:run ->
+  current:run ->
+  unit ->
+  verdict
+(** Compare a fresh run against the committed baseline.  A section
+    regresses when [cur.wall_s > base.wall_s *. wall_factor +. wall_slop]
+    (defaults 2.0 and 0.25 s — generous, because CI machines vary) or
+    when a counter present in both exceeds [base *. counter_factor]
+    (default 1.05).  A section present in the baseline but missing from
+    the current run is a failure; sections or counters only in the
+    current run are reported but never fail (new benchmarks may land
+    before the baseline is regenerated).  Scale or jobs mismatch between
+    the runs is a failure (the numbers would not be comparable). *)

@@ -1,0 +1,34 @@
+(** Schedule forensics renderers: Gantt SVG/HTML overlaid on the
+    reservation calendar, and availability-profile SVG.
+
+    Renderers are independent of the scheduler libraries: callers hand
+    over plain {!slot}s (convert from [Mp_cpa.Schedule.t] with one map),
+    so this library can sit below [mp_cpa] and receive journal probes
+    from it.  All outputs are self-contained documents. *)
+
+type slot = { label : string; start : int; finish : int; procs : int }
+
+val gantt_svg :
+  ?width:int ->
+  ?row_height:int ->
+  base:Mp_platform.Calendar.t ->
+  slots:slot list ->
+  unit ->
+  string
+(** SVG Gantt chart: the schedule's slots (colored, first-fit processor
+    rows) overlaid on the base calendar's competing reservations (grey)
+    with an availability-profile strip along the top.  [row_height]
+    defaults to at most 10 px, shrunk so large clusters stay under
+    ~720 px tall.  Well-formed for edge cases: empty slot list, single
+    slot, fully reserved calendar. *)
+
+val profile_svg :
+  ?width:int -> ?height:int -> Mp_platform.Calendar.t -> from_:int -> until:int -> string
+(** Availability step function over the window as a filled SVG area
+    chart.  Requires [from_ < until]. *)
+
+val html :
+  title:string -> gantt:string -> profile:string -> analytics:string -> story:string -> string
+(** Self-contained HTML page embedding the two SVGs plus the analytics
+    report and the decision story as preformatted text (the
+    [mpres explain --format html] output). *)

@@ -1,0 +1,451 @@
+(* Mp_forensics: the decision journal must be record-only (enabling it
+   changes no scheduler output, and what it records matches the emitted
+   schedule exactly), the calendar analytics must satisfy the exact
+   area identities, the renderers must stay well-formed on edge cases,
+   and the perf-baseline comparison must accept itself and reject
+   injected regressions.  Also covers the Dag_io text format and the
+   CLI's one-line error handling for unreadable input files. *)
+
+module Rng = Mp_prelude.Rng
+module Dag_gen = Mp_dag.Dag_gen
+module Dag_io = Mp_dag.Dag_io
+module Dag = Mp_dag.Dag
+module Task = Mp_dag.Task
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Env = Mp_core.Env
+module Ressched = Mp_core.Ressched
+module Deadline = Mp_core.Deadline
+module Online = Mp_core.Online
+module Schedule = Mp_cpa.Schedule
+module Journal = Mp_forensics.Journal
+module Analytics = Mp_forensics.Analytics
+module Render = Mp_forensics.Render
+module Baseline = Mp_forensics.Baseline
+
+let contains hay needle = Re.execp (Re.compile (Re.str needle)) hay
+
+(* Random busy calendar, as in test_obs.ml. *)
+let busy_calendar ?(p = 8) ?(n_res = 10) ?(horizon = 40_000) seed =
+  let rng = Rng.create seed in
+  let rec add cal k =
+    if k = 0 then cal
+    else begin
+      let start = Rng.int rng horizon in
+      let dur = 600 + Rng.int rng 4_000 in
+      let procs = 1 + Rng.int rng (max 1 (p / 2)) in
+      match Calendar.reserve_opt cal (Reservation.make ~start ~finish:(start + dur) ~procs) with
+      | Some cal -> add cal (k - 1)
+      | None -> add cal (k - 1)
+    end
+  in
+  add (Calendar.create ~procs:p) n_res
+
+let busy_env ?p ?n_res seed =
+  let calendar = busy_calendar ?p ?n_res seed in
+  Env.make ~calendar ~q:(Calendar.average_available calendar ~from_:0 ~until:40_000)
+
+let random_dag seed n = Dag_gen.generate (Rng.create seed) { Dag_gen.default with n }
+
+(* ------------------------------------------------------------------ *)
+(* Analytics: exact area identities on random calendars *)
+
+let test_analytics_identities =
+  QCheck.Test.make ~count:50 ~name:"utilization + idle fraction = 1 (exact areas)"
+    QCheck.(pair small_nat (int_range 0 25))
+    (fun (seed, n_res) ->
+      let p = 4 + (seed mod 13) in
+      let cal = busy_calendar ~p ~n_res (seed + 1) in
+      let a = Analytics.analyze cal ~from_:0 ~until:40_000 in
+      let span = 40_000 in
+      let holes_area =
+        List.fold_left
+          (fun acc (h : Analytics.hole) -> acc + (h.procs * (h.finish - h.start)))
+          0 a.holes
+      in
+      let hist_total = Array.fold_left (fun acc (_, c) -> acc + c) 0 a.hole_histogram in
+      a.busy_area + a.idle_area = p * span
+      && holes_area = a.idle_area
+      && hist_total = List.length a.holes
+      && Float.abs (a.utilization +. a.idle_fraction -. 1.) < 1e-9
+      && a.fragmentation >= 0.
+      && a.fragmentation <= 1.)
+
+let test_analytics_empty_and_full () =
+  let p = 6 in
+  let empty = Calendar.create ~procs:p in
+  let a = Analytics.analyze empty ~from_:0 ~until:1_000 in
+  Alcotest.(check int) "empty calendar: idle area" (p * 1_000) a.Analytics.idle_area;
+  Alcotest.(check int) "empty calendar: one hole" 1 (List.length a.holes);
+  Alcotest.(check (float 1e-9)) "empty calendar: fragmentation 0" 0. a.fragmentation;
+  let full =
+    Calendar.reserve empty (Reservation.make ~start:0 ~finish:1_000 ~procs:p)
+  in
+  let a = Analytics.analyze full ~from_:0 ~until:1_000 in
+  Alcotest.(check int) "full calendar: busy area" (p * 1_000) a.Analytics.busy_area;
+  Alcotest.(check int) "full calendar: no holes" 0 (List.length a.holes);
+  Alcotest.(check (float 1e-9)) "full calendar: utilization 1" 1. a.utilization;
+  Alcotest.(check (float 1e-9)) "full calendar: fragmentation 0" 0. a.fragmentation
+
+let test_occupancy_shares () =
+  let p = 8 in
+  let r1 = Reservation.make ~start:0 ~finish:100 ~procs:2 in
+  let r2 = Reservation.make ~start:50 ~finish:200 ~procs:4 in
+  let cal = Calendar.reserve (Calendar.reserve (Calendar.create ~procs:p) r1) r2 in
+  let occ = Analytics.occupancy cal ~from_:0 ~until:200 [ r1; r2 ] in
+  let total_share = List.fold_left (fun acc (_, _, s) -> acc +. s) 0. occ in
+  Alcotest.(check (float 1e-9)) "shares sum to 1" 1. total_share;
+  let area1 = match occ with (_, a, _) :: _ -> a | [] -> -1 in
+  Alcotest.(check int) "r1 area" 200 area1
+
+(* ------------------------------------------------------------------ *)
+(* Journal: enabling it changes no scheduler output *)
+
+let test_journal_does_not_change_schedules =
+  QCheck.Test.make ~count:25 ~name:"journaling does not change scheduler output"
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let env = busy_env (s1 + 1) in
+      let dag = random_dag (s2 + 1) 15 in
+      let plain = Ressched.schedule env dag in
+      Journal.reset ();
+      let journaled = Journal.with_enabled (fun () -> Ressched.schedule env dag) in
+      Journal.reset ();
+      let deadline = 2 * Schedule.turnaround plain in
+      let plain_dl =
+        Deadline.resource_conservative ~lambda:0.3 Deadline.DL_RC_CPAR env dag ~deadline
+      in
+      Journal.reset ();
+      let journaled_dl =
+        Journal.with_enabled (fun () ->
+            Deadline.resource_conservative ~lambda:0.3 Deadline.DL_RC_CPAR env dag ~deadline)
+      in
+      Journal.reset ();
+      plain = journaled && plain_dl = journaled_dl)
+
+(* Every scheduled task must have a journal entry whose winning pair is
+   exactly the emitted slot. *)
+let check_won_matches sched entries =
+  Array.iteri
+    (fun i (s : Schedule.slot) ->
+      match Journal.won_slot entries ~task:i with
+      | None -> Alcotest.failf "task %d has no successful journal entry" i
+      | Some (procs, start, finish) ->
+          if procs <> s.procs || start <> s.start || finish <> s.finish then
+            Alcotest.failf "task %d: journal says %d procs @ [%d, %d), schedule says %d @ [%d, %d)"
+              i procs start finish s.procs s.start s.finish)
+    sched.Schedule.slots
+
+let test_journal_matches_ressched () =
+  let env = busy_env 3 in
+  let dag = random_dag 4 20 in
+  Journal.reset ();
+  let sched = Journal.with_enabled (fun () -> Ressched.schedule env dag) in
+  let entries = Journal.take () in
+  Journal.reset ();
+  check_won_matches sched entries;
+  Alcotest.(check int) "one placement per task" (Dag.n dag)
+    (List.length (Journal.placements entries))
+
+let test_journal_matches_deadline () =
+  let env = busy_env 5 in
+  let dag = random_dag 6 15 in
+  let loose = 2 * Schedule.turnaround (Ressched.schedule env dag) in
+  Journal.reset ();
+  let sched =
+    Journal.with_enabled (fun () ->
+        Deadline.resource_conservative ~lambda:0.5 Deadline.DL_RC_CPAR env dag ~deadline:loose)
+  in
+  let entries = Journal.take () in
+  Journal.reset ();
+  match sched with
+  | None -> Alcotest.fail "loose deadline should be feasible"
+  | Some sched ->
+      check_won_matches sched entries;
+      (* at least one conservative placement must carry the λ-relaxation
+         context *)
+      let with_ref =
+        List.filter (fun (p : Journal.placement) -> p.reference <> None)
+          (Journal.placements entries)
+      in
+      Alcotest.(check bool) "reference context recorded" true (with_ref <> []);
+      List.iter
+        (fun (p : Journal.placement) ->
+          match (p.reference, p.threshold) with
+          | Some r, Some t ->
+              if t < r then Alcotest.failf "task %d: threshold %d below reference %d" p.task t r
+          | _ -> ())
+        with_ref
+
+let test_journal_online_grants () =
+  let env = busy_env 7 in
+  let dag = random_dag 8 10 in
+  let events =
+    Array.init (Dag.n dag) (fun k ->
+        if k = 1 then [ Reservation.make ~start:5_000 ~finish:6_000 ~procs:2 ] else [])
+  in
+  Journal.reset ();
+  let _sched, granted = Journal.with_enabled (fun () -> Online.schedule env ~events dag) in
+  let entries = Journal.take () in
+  Journal.reset ();
+  let grants =
+    List.filter_map (function Journal.Grant { granted; _ } -> Some granted | _ -> None) entries
+  in
+  Alcotest.(check int) "one grant decision journaled" 1 (List.length grants);
+  Alcotest.(check int) "granted list consistent with journal" (List.length granted)
+    (List.length (List.filter Fun.id grants))
+
+let test_journal_jsonl_and_story () =
+  let env = busy_env 11 in
+  let dag = random_dag 12 8 in
+  Journal.reset ();
+  let _ = Journal.with_enabled (fun () -> Ressched.schedule env dag) in
+  let entries = Journal.take () in
+  Journal.reset ();
+  let jsonl = Journal.to_jsonl entries in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        Alcotest.(check bool) "JSONL line is an object" true
+          (String.length line > 1 && line.[0] = '{' && line.[String.length line - 1] = '}'))
+    (String.split_on_char '\n' jsonl);
+  Alcotest.(check bool) "jsonl has placements" true (contains jsonl "\"event\":\"placement\"");
+  let story = Journal.story entries in
+  Alcotest.(check bool) "story mentions a placement" true (contains story "=> placed:")
+
+(* ------------------------------------------------------------------ *)
+(* Renderers: well-formed SVG on edge cases *)
+
+let check_svg name svg =
+  Alcotest.(check bool) (name ^ ": starts with <svg") true
+    (String.length svg > 5 && String.sub svg 0 4 = "<svg");
+  Alcotest.(check bool) (name ^ ": ends with </svg>") true (contains svg "</svg>");
+  Alcotest.(check bool) (name ^ ": no nan") false (contains svg "nan")
+
+let test_svg_edge_cases () =
+  let base = Calendar.create ~procs:4 in
+  check_svg "empty slot list" (Render.gantt_svg ~base ~slots:[] ());
+  check_svg "single slot"
+    (Render.gantt_svg ~base
+       ~slots:[ { Render.label = "0"; start = 0; finish = 100; procs = 2 } ]
+       ());
+  let full = Calendar.reserve base (Reservation.make ~start:0 ~finish:100_000 ~procs:4) in
+  check_svg "fully reserved calendar"
+    (Render.gantt_svg ~base:full
+       ~slots:[ { Render.label = "0"; start = 100_000; finish = 100_100; procs = 4 } ]
+       ());
+  check_svg "profile" (Render.profile_svg (busy_calendar 17) ~from_:0 ~until:40_000);
+  check_svg "profile of empty window start" (Render.profile_svg base ~from_:0 ~until:1)
+
+let test_svg_from_real_schedule () =
+  let env = busy_env 19 in
+  let dag = random_dag 20 12 in
+  let sched = Ressched.schedule env dag in
+  let slots =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : Schedule.slot) ->
+           { Render.label = string_of_int i; start = s.start; finish = s.finish; procs = s.procs })
+         sched.Schedule.slots)
+  in
+  let svg = Render.gantt_svg ~base:env.calendar ~slots () in
+  check_svg "real schedule" svg;
+  let html =
+    Render.html ~title:"t" ~gantt:svg
+      ~profile:(Render.profile_svg env.calendar ~from_:0 ~until:1_000)
+      ~analytics:"a < b" ~story:"s & t"
+  in
+  Alcotest.(check bool) "html escapes pre text" true (contains html "a &lt; b");
+  Alcotest.(check bool) "html embeds svg" true (contains html "<svg")
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: round trip and regression verdicts *)
+
+let sample_run =
+  {
+    Baseline.schema = Baseline.schema_version;
+    scale = "tiny";
+    jobs = 2;
+    total_s = 1.5;
+    sections =
+      [
+        { Baseline.name = "Table 2"; wall_s = 0.5; counters = [ ("calendar.reserve.calls", 100.) ] };
+        { Baseline.name = "Table 4"; wall_s = 1.0; counters = [] };
+      ];
+  }
+
+let test_baseline_roundtrip () =
+  match Baseline.of_json (Baseline.to_json sample_run) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok run ->
+      Alcotest.(check string) "scale" sample_run.scale run.Baseline.scale;
+      Alcotest.(check int) "jobs" sample_run.jobs run.jobs;
+      Alcotest.(check int) "sections" 2 (List.length run.sections);
+      let s = List.hd run.sections in
+      Alcotest.(check string) "section name" "Table 2" s.Baseline.name;
+      Alcotest.(check (float 1e-6)) "wall" 0.5 s.wall_s;
+      Alcotest.(check (float 1e-6)) "counter" 100. (List.assoc "calendar.reserve.calls" s.counters)
+
+let test_baseline_compare_ok () =
+  let v = Baseline.compare ~baseline:sample_run ~current:sample_run () in
+  Alcotest.(check bool) "identical runs pass" true v.Baseline.ok
+
+let test_baseline_compare_regressions () =
+  let with_sections sections = { sample_run with Baseline.sections } in
+  let slow =
+    with_sections
+      [
+        { Baseline.name = "Table 2"; wall_s = 50.; counters = [ ("calendar.reserve.calls", 100.) ] };
+        { Baseline.name = "Table 4"; wall_s = 1.0; counters = [] };
+      ]
+  in
+  Alcotest.(check bool) "injected slowdown fails" false
+    (Baseline.compare ~baseline:sample_run ~current:slow ()).Baseline.ok;
+  let hot =
+    with_sections
+      [
+        { Baseline.name = "Table 2"; wall_s = 0.5; counters = [ ("calendar.reserve.calls", 200.) ] };
+        { Baseline.name = "Table 4"; wall_s = 1.0; counters = [] };
+      ]
+  in
+  Alcotest.(check bool) "counter growth fails" false
+    (Baseline.compare ~baseline:sample_run ~current:hot ()).Baseline.ok;
+  let missing = with_sections [ List.nth sample_run.Baseline.sections 0 ] in
+  Alcotest.(check bool) "missing section fails" false
+    (Baseline.compare ~baseline:sample_run ~current:missing ()).Baseline.ok;
+  let other_scale = { sample_run with Baseline.scale = "paper" } in
+  Alcotest.(check bool) "scale mismatch fails" false
+    (Baseline.compare ~baseline:sample_run ~current:other_scale ()).Baseline.ok
+
+let test_baseline_bad_json () =
+  (match Baseline.of_json "{" with
+  | Ok _ -> Alcotest.fail "truncated JSON accepted"
+  | Error msg -> Alcotest.(check bool) "parse error is one line" false (contains msg "\n"));
+  match Baseline.of_json "{\"schema\":\"other\",\"scale\":\"t\",\"jobs\":1,\"total_s\":1,\"sections\":[]}" with
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+  | Error msg -> Alcotest.(check bool) "names the schema" true (contains msg "other")
+
+(* ------------------------------------------------------------------ *)
+(* Dag_io *)
+
+let test_dag_io_roundtrip () =
+  let dag = random_dag 23 12 in
+  match Dag_io.of_string (Dag_io.to_string dag) with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok dag' ->
+      Alcotest.(check int) "n" (Dag.n dag) (Dag.n dag');
+      Alcotest.(check int) "edges" (Dag.n_edges dag) (Dag.n_edges dag');
+      Array.iteri
+        (fun i (tk : Task.t) ->
+          let tk' = Dag.task dag' i in
+          if tk.seq <> tk'.seq || tk.alpha <> tk'.alpha then
+            Alcotest.failf "task %d drifted through the round trip" i)
+        (Dag.tasks dag)
+
+let test_dag_io_errors () =
+  (match Dag_io.load "/nonexistent/path.dag" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ());
+  (match Dag_io.of_string "task 0 bad x" with
+  | Ok _ -> Alcotest.fail "malformed task accepted"
+  | Error msg -> Alcotest.(check bool) "names the line" true (contains msg "line 1"));
+  (match Dag_io.of_string "task 0 10 0.1\ntask 2 10 0.1\nedge 0 2" with
+  | Ok _ -> Alcotest.fail "gap in ids accepted"
+  | Error _ -> ());
+  match Dag_io.of_string "" with
+  | Ok _ -> Alcotest.fail "empty file accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* CLI: unreadable inputs exit non-zero with a one-line error *)
+
+(* [dune runtest] runs us from [_build/default/test]; [dune exec
+   test/test_forensics.exe] runs from the workspace root. *)
+let mpres_exe () =
+  let candidates =
+    [
+      Filename.concat ".." (Filename.concat "bin" "mpres.exe");
+      List.fold_left Filename.concat "_build" [ "default"; "bin"; "mpres.exe" ];
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> exe
+  | None -> Alcotest.fail "mpres.exe not built (declared as a dune test dep)"
+
+let run_cli args =
+  let exe = mpres_exe () in
+  let code = Sys.command (exe ^ " " ^ args ^ " > cli_out.txt 2> cli_err.txt") in
+  let err = In_channel.with_open_text "cli_err.txt" In_channel.input_all in
+  (code, err)
+
+let check_cli_error name (code, err) =
+  Alcotest.(check bool) (name ^ ": non-zero exit") true (code <> 0);
+  Alcotest.(check bool) (name ^ ": one-line mpres error") true (contains err "mpres:");
+  Alcotest.(check bool) (name ^ ": no raw backtrace") false (contains err "Raised at")
+
+let test_cli_unreadable_inputs () =
+  check_cli_error "schedule --dag" (run_cli "schedule -n 8 --dag /nonexistent.dag");
+  check_cli_error "explain --dag" (run_cli "explain -n 8 --dag /nonexistent.dag");
+  check_cli_error "schedule --swf" (run_cli "schedule -n 8 --swf /nonexistent.swf");
+  let malformed = "cli_malformed.dag" in
+  Out_channel.with_open_text malformed (fun oc -> Out_channel.output_string oc "task 0 x y\n");
+  check_cli_error "malformed dag" (run_cli ("explain -n 8 --dag " ^ malformed))
+
+let test_cli_explain_formats () =
+  let dag_file = "cli_roundtrip.dag" in
+  (match Dag_io.save dag_file (random_dag 29 6) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg);
+  let code, _ = run_cli ("explain --dag " ^ dag_file ^ " --format svg -o cli_gantt.svg") in
+  Alcotest.(check int) "explain svg exits 0" 0 code;
+  let svg = In_channel.with_open_text "cli_gantt.svg" In_channel.input_all in
+  check_svg "cli gantt" svg;
+  let code, _ = run_cli ("explain --dag " ^ dag_file ^ " --format json -o cli_journal.jsonl") in
+  Alcotest.(check int) "explain json exits 0" 0 code;
+  let jsonl = In_channel.with_open_text "cli_journal.jsonl" In_channel.input_all in
+  Alcotest.(check bool) "jsonl has placements" true (contains jsonl "\"event\":\"placement\"");
+  Alcotest.(check bool) "jsonl has analytics" true (contains jsonl "\"event\":\"analytics\"")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mp_forensics"
+    [
+      ( "analytics",
+        [
+          QCheck_alcotest.to_alcotest test_analytics_identities;
+          Alcotest.test_case "empty and full calendars" `Quick test_analytics_empty_and_full;
+          Alcotest.test_case "occupancy shares" `Quick test_occupancy_shares;
+        ] );
+      ( "journal",
+        [
+          QCheck_alcotest.to_alcotest test_journal_does_not_change_schedules;
+          Alcotest.test_case "won pairs match RESSCHED output" `Quick test_journal_matches_ressched;
+          Alcotest.test_case "won pairs match RESSCHEDDL output" `Quick
+            test_journal_matches_deadline;
+          Alcotest.test_case "online grant decisions" `Quick test_journal_online_grants;
+          Alcotest.test_case "jsonl and story render" `Quick test_journal_jsonl_and_story;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "svg edge cases" `Quick test_svg_edge_cases;
+          Alcotest.test_case "svg from a real schedule" `Quick test_svg_from_real_schedule;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "self-compare passes" `Quick test_baseline_compare_ok;
+          Alcotest.test_case "regressions fail" `Quick test_baseline_compare_regressions;
+          Alcotest.test_case "bad json rejected" `Quick test_baseline_bad_json;
+        ] );
+      ( "dag_io",
+        [
+          Alcotest.test_case "round trip" `Quick test_dag_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dag_io_errors;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "unreadable inputs" `Quick test_cli_unreadable_inputs;
+          Alcotest.test_case "explain formats" `Quick test_cli_explain_formats;
+        ] );
+    ]
