@@ -13,15 +13,46 @@ module Baseline = Mp_forensics.Baseline
 let usage () =
   prerr_endline
     "usage: compare --baseline FILE --current FILE [--wall-factor F] [--wall-slop S] \
-     [--counter-factor F]";
+     [--counter-factor F] [--summary FILE]";
   exit 2
+
+(* Markdown per-section wall-time delta table, for CI job summaries
+   ($GITHUB_STEP_SUMMARY). *)
+let write_summary path ~baseline_path ~ok (base : Baseline.run) (cur : Baseline.run) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "### Bench wall-clock vs `%s` (scale %s, jobs %d)\n\n" baseline_path
+       base.scale base.jobs);
+  Buffer.add_string buf "| Section | Baseline [s] | Current [s] | Delta |\n";
+  Buffer.add_string buf "|---|---:|---:|---:|\n";
+  let row name b c =
+    let delta =
+      if b > 0.01 then Printf.sprintf "%+.0f%%" ((c -. b) /. b *. 100.) else "-"
+    in
+    Buffer.add_string buf (Printf.sprintf "| %s | %.2f | %.2f | %s |\n" name b c delta)
+  in
+  List.iter
+    (fun (b : Baseline.section) ->
+      match
+        List.find_opt (fun (c : Baseline.section) -> c.name = b.name) cur.sections
+      with
+      | Some c -> row b.name b.wall_s c.wall_s
+      | None ->
+          Buffer.add_string buf (Printf.sprintf "| %s | %.2f | missing | - |\n" b.name b.wall_s))
+    base.sections;
+  row "**total**" base.total_s cur.total_s;
+  Buffer.add_string buf
+    (if ok then "\nNo perf regression.\n"
+     else "\n**REGRESSION** - see the compare step's FAIL lines.\n");
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
 
 let () =
   let baseline = ref None
   and current = ref None
   and wall_factor = ref 2.0
   and wall_slop = ref 0.25
-  and counter_factor = ref 1.05 in
+  and counter_factor = ref 1.05
+  and summary = ref None in
   let rec parse = function
     | [] -> ()
     | "--baseline" :: v :: rest ->
@@ -38,6 +69,9 @@ let () =
         parse rest
     | "--counter-factor" :: v :: rest ->
         (match float_of_string_opt v with Some f -> counter_factor := f | None -> usage ());
+        parse rest
+    | "--summary" :: v :: rest ->
+        summary := Some v;
         parse rest
     | _ -> usage ()
   in
@@ -59,6 +93,9 @@ let () =
       ~counter_factor:!counter_factor ~baseline:base ~current:cur ()
   in
   List.iter print_endline verdict.lines;
+  Option.iter
+    (fun path -> write_summary path ~baseline_path ~ok:verdict.ok base cur)
+    !summary;
   if verdict.ok then begin
     Printf.printf "OK: no perf regression against %s\n" baseline_path;
     exit 0

@@ -23,11 +23,11 @@ let survey probe task ~ready np =
              computed as feasible; kept total for robustness *)
           (None, 2))
 
-let place probe task ~ready ~bound ~budget =
+let place probe task ~ready ~(cands : Task.candidates) ~budget =
   (* Candidates largest-first: bigger allocations have shorter durations
      and usually earlier completions, so they are worth surveying first
      when the budget is tight. *)
-  let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
+  let candidates = List.rev (Array.to_list cands.Task.nps) in
   let better (r : Reservation.t) = function
     | None -> true
     | Some (b : Reservation.t) ->
@@ -93,13 +93,17 @@ let schedule ?(budget = 16) ?(bl = Bottom_level.BL_CPAR) ~q ~probe dag =
     | Bottom_level.BL_CPAR -> Allocation.weights dag ~allocs:bounds
   in
   let order = Mapping.bl_order dag ~weights in
+  let cands =
+    Array.init (Dag.n dag) (fun i ->
+        Task.candidates (Dag.task dag i) ~max_np:(max 1 bounds.(i)))
+  in
   let slots = Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
   Array.iter
     (fun i ->
       let ready =
         Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) 0 (Dag.preds dag i)
       in
-      let r = place probe (Dag.task dag i) ~ready ~bound:(max 1 bounds.(i)) ~budget in
+      let r = place probe (Dag.task dag i) ~ready ~cands:cands.(i) ~budget in
       slots.(i) <- { start = r.Reservation.start; finish = r.Reservation.finish; procs = r.Reservation.procs })
     order;
   { Schedule.slots }

@@ -25,37 +25,52 @@ let sp_backward = Mp_obs.Span.make "deadline.backward"
 (* Latest-start placement among the task's distinct-duration processor
    counts up to a per-task bound: the aggressive move, also used as
    fallback by the conservative algorithms. *)
-let place_latest cal task ~dl ~bound =
+let place_latest cal task ~dl ~(cands : Task.candidates) =
   (* Candidates by descending processor count (ascending duration): once
      [dl - dur] falls below the best start found, no remaining (longer)
      candidate can start later, so the scan stops.  On loose deadlines the
      very first candidate ends the loop. *)
-  let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
+  let nps = cands.Task.nps and durs = cands.Task.durs in
   if !Mp_forensics.Journal.enabled then
     Mp_forensics.Journal.begin_placement Mp_forensics.Journal.Backward ~task:task.Task.id
-      ~anchor:dl ~bound ~evaluated:(List.length candidates);
-  let rec go best = function
-    | [] -> best
-    | np :: rest -> (
-        let dur = Task.exec_time task np in
-        match best with
-        | Some (bs, _, _) when dl - dur < bs ->
-            Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Early_cut;
-            best
-        | _ -> (
-            match Calendar.latest_fit cal ~earliest:0 ~finish_by:dl ~procs:np ~dur with
-            | None ->
-                Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
-                go best rest
-            | Some s as fit ->
-                let better =
-                  match best with None -> true | Some (bs, _, bnp) -> s > bs || (s = bs && np < bnp)
-                in
-                Mp_forensics.Journal.cand ~procs:np ~dur ~fit
-                  (if better then Mp_forensics.Journal.Leading else Mp_forensics.Journal.Beaten);
-                go (if better then Some (s, s + dur, np) else best) rest))
+      ~anchor:dl ~bound:cands.Task.bound ~evaluated:(Array.length nps);
+  (* All candidates query the same calendar state toward the same
+     deadline: share the walk prefix (see {!Calendar.Txn.latest_scan}). *)
+  let scan = Calendar.Txn.latest_scan cal ~finish_by:dl in
+  let rec go best c =
+    if c < 0 then best
+    else
+      let np = nps.(c) and dur = durs.(c) in
+      match best with
+      | Some (bs, _, _) when dl - dur < bs ->
+          Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Early_cut;
+          best
+      | _ -> (
+          (* A fit strictly before the best start is discarded below (the
+             scan's processor counts only decrease, so an equal start always
+             wins its tie), so the query may stop the moment its window
+             drops below [bs] — raising [earliest] to [bs] changes no
+             placement, only how soon a losing scan gives up.  With the
+             journal on, keep the unbounded query so the recorded
+             candidates (starts of beaten fits) stay exactly as before;
+             the extra work is placement-identical by the same argument. *)
+          let earliest =
+            if !Mp_forensics.Journal.enabled then 0
+            else match best with None -> 0 | Some (bs, _, _) -> max 0 bs
+          in
+          match Calendar.Txn.latest_fit_scan scan ~earliest ~procs:np ~dur with
+          | None ->
+              Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
+              go best (c - 1)
+          | Some s as fit ->
+              let better =
+                match best with None -> true | Some (bs, _, bnp) -> s > bs || (s = bs && np < bnp)
+              in
+              Mp_forensics.Journal.cand ~procs:np ~dur ~fit
+                (if better then Mp_forensics.Journal.Leading else Mp_forensics.Journal.Beaten);
+              go (if better then Some (s, s + dur, np) else best) (c - 1))
   in
-  match go None candidates with
+  match go None (Array.length nps - 1) with
   | Some (s, fin, np) as slot ->
       Mp_forensics.Journal.end_placement ~procs:np ~start:s ~finish:fin;
       slot
@@ -66,44 +81,52 @@ let place_latest cal task ~dl ~bound =
 (* Fewest processors whose earliest feasible start clears [threshold] while
    still finishing by [dl].  [jctx] carries (reference, lambda) for the
    decision journal only — never consulted by the placement itself. *)
-let place_conservative ?jctx cal task ~dl ~threshold ~max_np =
+let place_conservative ?jctx cal task ~dl ~threshold ~(cands : Task.candidates) =
   let threshold = max 0 threshold in
+  let nps = cands.Task.nps and durs = cands.Task.durs in
+  let n_cands = Array.length nps in
   if !Mp_forensics.Journal.enabled then begin
-    let candidates = Task.alloc_candidates task ~max_np in
     Mp_forensics.Journal.begin_placement Mp_forensics.Journal.Conservative ~task:task.Task.id
-      ~anchor:dl ~bound:max_np ~evaluated:(List.length candidates);
+      ~anchor:dl ~bound:cands.Task.bound ~evaluated:n_cands;
     match jctx with
     | Some (reference, lambda) -> Mp_forensics.Journal.note_reference ~reference ~threshold ~lambda
     | None -> ()
   end;
-  let rec try_candidates = function
-    | [] ->
-        Mp_forensics.Journal.end_placement_failed ();
-        None
-    | np :: rest ->
-        let dur = Task.exec_time task np in
-        if threshold + dur > dl then begin
-          Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Window_closed;
-          try_candidates rest
-        end
-        else begin
-          match Calendar.earliest_fit cal ~after:threshold ~procs:np ~dur with
-          | Some s when s + dur <= dl ->
-              if !Mp_forensics.Journal.enabled then begin
-                Mp_forensics.Journal.cand ~procs:np ~dur ~fit:(Some s)
-                  Mp_forensics.Journal.Leading;
-                Mp_forensics.Journal.end_placement ~procs:np ~start:s ~finish:(s + dur)
-              end;
-              Some (s, s + dur, np)
-          | Some _ as fit ->
-              Mp_forensics.Journal.cand ~procs:np ~dur ~fit Mp_forensics.Journal.Misses_deadline;
-              try_candidates rest
-          | None ->
-              Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
-              try_candidates rest
-        end
+  let rec try_candidates c =
+    if c >= n_cands then begin
+      Mp_forensics.Journal.end_placement_failed ();
+      None
+    end
+    else
+      let np = nps.(c) and dur = durs.(c) in
+      if threshold + dur > dl then begin
+        Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.Window_closed;
+        try_candidates (c + 1)
+      end
+      else begin
+        (* Starts past [dl - dur] miss the deadline and fall through to the
+           next candidate; bounding the query there lets a doomed scan stop
+           at the window's edge instead of walking to the calendar's empty
+           tail.  Unbounded when the journal is on, so the recorded fit of
+           a deadline-missing candidate stays exactly as before. *)
+        let limit = if !Mp_forensics.Journal.enabled then max_int else dl - dur in
+        match Calendar.Txn.earliest_fit ~limit cal ~after:threshold ~procs:np ~dur with
+        | Some s when s + dur <= dl ->
+            if !Mp_forensics.Journal.enabled then begin
+              Mp_forensics.Journal.cand ~procs:np ~dur ~fit:(Some s)
+                Mp_forensics.Journal.Leading;
+              Mp_forensics.Journal.end_placement ~procs:np ~start:s ~finish:(s + dur)
+            end;
+            Some (s, s + dur, np)
+        | Some _ as fit ->
+            Mp_forensics.Journal.cand ~procs:np ~dur ~fit Mp_forensics.Journal.Misses_deadline;
+            try_candidates (c + 1)
+        | None ->
+            Mp_forensics.Journal.cand ~procs:np ~dur ~fit:None Mp_forensics.Journal.No_fit;
+            try_candidates (c + 1)
+      end
   in
-  try_candidates (Task.alloc_candidates task ~max_np)
+  try_candidates 0
 
 (* Shared backward list-scheduling loop over a precomputed increasing
    bottom-level order.  [place] decides one task's slot given the current
@@ -112,8 +135,10 @@ let backward ~order (env : Env.t) dag ~deadline ~place =
   Mp_obs.Span.wrap sp_backward @@ fun () ->
   let nb = Dag.n dag in
   let slots = Array.make nb ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
-  let placed = Array.make nb false in
-  let cal = ref env.calendar in
+  (* The pass reserves and queries strictly forward through calendar
+     versions, so it runs on a mutable transaction over the shared base
+     calendar instead of building a persistent version per task. *)
+  let cal = Calendar.Txn.start env.calendar in
   let rec go k =
     if k < 0 then Some { Schedule.slots }
     else begin
@@ -124,15 +149,14 @@ let backward ~order (env : Env.t) dag ~deadline ~place =
           deadline (Dag.succs dag i)
       in
       Mp_obs.Span.enter sp_place;
-      let slot = place !cal ~i ~dl ~placed in
+      let slot = place cal ~k ~i ~dl in
       Mp_obs.Span.exit sp_place;
       match slot with
       | None -> None
       | Some (s, fin, np) ->
           Mp_obs.Counter.incr c_tasks_placed;
-          cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
+          Calendar.Txn.reserve cal (Reservation.make ~start:s ~finish:fin ~procs:np);
           slots.(i) <- { start = s; finish = fin; procs = np };
-          placed.(i) <- true;
           go (k - 1)
     end
   in
@@ -144,6 +168,12 @@ let backward ~order (env : Env.t) dag ~deadline ~place =
    sweeps — the λ search and the tightest-deadline binary search — pay for
    it once instead of per probe. *)
 
+(* One candidate table per task, computed when the prepared closure is
+   built and shared by every deadline probe (and every placement of every
+   probe) thereafter. *)
+let candidate_tables dag ~bound_of =
+  Array.init (Dag.n dag) (fun i -> Task.candidates (Dag.task dag i) ~max_np:(bound_of i))
+
 let aggressive_prepared algo (env : Env.t) dag =
   let order = Bottom_level.order Bottom_level.BL_CPAR env dag in
   let bounds =
@@ -152,9 +182,10 @@ let aggressive_prepared algo (env : Env.t) dag =
     | DL_BD_CPA -> Allocation.allocate ~p:env.p dag
     | DL_BD_CPAR -> Allocation.allocate ~p:env.q dag
   in
+  let cands = candidate_tables dag ~bound_of:(fun i -> max 1 bounds.(i)) in
   fun ~deadline ->
-    backward ~order env dag ~deadline ~place:(fun cal ~i ~dl ~placed:_ ->
-        place_latest cal (Dag.task dag i) ~dl ~bound:(max 1 bounds.(i)))
+    backward ~order env dag ~deadline ~place:(fun cal ~k:_ ~i ~dl ->
+        place_latest cal (Dag.task dag i) ~dl ~cands:cands.(i))
 
 let aggressive algo env dag ~deadline = aggressive_prepared algo env dag ~deadline
 
@@ -162,27 +193,31 @@ let conservative_prepared ?(bounded_fallback = false) algo (env : Env.t) dag =
   let order = Bottom_level.order Bottom_level.BL_CPAR env dag in
   let ref_q = match algo with DL_RC_CPA -> env.p | DL_RC_CPAR -> env.q in
   let ref_allocs = Allocation.allocate ~p:ref_q dag in
-  let fallback_bounds =
-    if bounded_fallback then Allocation.allocate ~p:env.q dag else Array.make (Dag.n dag) env.p
+  (* All probes of a λ-sweep / tightest search place tasks in the same
+     backward order, so the reference starts they consult are the same
+     order-prefix schedules: memoize them across probes. *)
+  let refs = Mapping.prefix_references dag ~allocs:ref_allocs ~p:ref_q ~order in
+  let cons_cands = candidate_tables dag ~bound_of:(fun _ -> env.p) in
+  let fb_cands =
+    if bounded_fallback then begin
+      let fallback_bounds = Allocation.allocate ~p:env.q dag in
+      candidate_tables dag ~bound_of:(fun i -> max 1 fallback_bounds.(i))
+    end
+    else cons_cands
   in
   fun ~lambda ~deadline ->
     if lambda < 0. || lambda > 1. then invalid_arg "Deadline.resource_conservative: lambda";
-    backward ~order env dag ~deadline ~place:(fun cal ~i ~dl ~placed ->
-        let keep = Array.map not placed in
-        let reference =
-          match Mapping.map_subset dag ~allocs:ref_allocs ~p:ref_q ~keep with
-          | Some starts -> starts.(i)
-          | None -> 0
-        in
+    backward ~order env dag ~deadline ~place:(fun cal ~k ~i ~dl ->
+        let reference = Mapping.reference_start refs k in
         let threshold =
           reference + int_of_float (Float.round (lambda *. float_of_int (dl - reference)))
         in
         let jctx =
           if !Mp_forensics.Journal.enabled then Some (reference, lambda) else None
         in
-        match place_conservative ?jctx cal (Dag.task dag i) ~dl ~threshold ~max_np:env.p with
+        match place_conservative ?jctx cal (Dag.task dag i) ~dl ~threshold ~cands:cons_cands.(i) with
         | Some slot -> Some slot
-        | None -> place_latest cal (Dag.task dag i) ~dl ~bound:(max 1 fallback_bounds.(i)))
+        | None -> place_latest cal (Dag.task dag i) ~dl ~cands:fb_cands.(i))
 
 let resource_conservative ?(lambda = 0.) ?bounded_fallback algo env dag ~deadline =
   conservative_prepared ?bounded_fallback algo env dag ~lambda ~deadline

@@ -46,9 +46,14 @@ val aggressive : aggressive -> Env.t -> Mp_dag.Dag.t -> deadline:int -> Mp_cpa.S
 val aggressive_prepared :
   aggressive -> Env.t -> Mp_dag.Dag.t -> deadline:int -> Mp_cpa.Schedule.t option
 (** Partial application at [Env.t -> Dag.t] precomputes the
-    allocation-dependent data (bottom-level order, CPA bounds), which does
-    not depend on the deadline; deadline sweeps — binary searches, λ
-    sweeps — should reuse the resulting closure. *)
+    allocation-dependent data (bottom-level order, CPA bounds, the
+    per-task {!Mp_dag.Task.candidates} tables and — for the conservative
+    variants — the memoized prefix reference schedules of
+    {!Mp_cpa.Mapping.prefix_references}), none of which depends on the
+    deadline; deadline sweeps — binary searches, λ sweeps — should reuse
+    the resulting closure.  The prepared closures carry (domain-local)
+    mutable memo state: share one closure within a worker, not across
+    concurrently-running domains. *)
 
 val conservative_prepared :
   ?bounded_fallback:bool ->

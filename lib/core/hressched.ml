@@ -36,7 +36,19 @@ let reference_available grid ~window =
 let translate_alloc ~speed ~site_procs r =
   max 1 (min site_procs (int_of_float (ceil (float_of_int r /. speed))))
 
-let schedule ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag =
+(* Everything both passes (and every probe of [tightest]) need that
+   depends only on ⟨grid, dag, bd, window⟩: the reference allocations, the
+   bottom-level order, and — per ⟨site, task⟩ — the distinct-duration
+   processor counts with their site-scaled durations.  Site speeds are
+   immutable, so the tables stay valid as reservations accumulate. *)
+type prep = {
+  order : int array;
+  site_cands : (int array * int array) array array;
+      (* site → task → (nps ascending, site-scaled durations); both passes
+         scan from the top index down (descending processor count) *)
+}
+
+let prepare ~bd ~window grid dag =
   let nb = Dag.n dag in
   let ref_procs =
     match bd with
@@ -46,51 +58,67 @@ let schedule ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag =
   let ref_allocs = Allocation.allocate ~p:ref_procs dag in
   let weights = Allocation.weights dag ~allocs:ref_allocs in
   let order = Mp_cpa.Mapping.bl_order dag ~weights in
-  ignore (Analysis.bottom_levels dag ~weights);
+  let site_cands =
+    Array.init (Grid.n_sites grid) (fun s ->
+        let { Grid.procs = site_procs; speed; _ } = Grid.site grid s in
+        Array.init nb (fun i ->
+            let task = Dag.task dag i in
+            let bound =
+              match bd with
+              | HBD_ALL -> site_procs
+              | HBD_CPAR -> translate_alloc ~speed ~site_procs ref_allocs.(i)
+            in
+            let c = Task.candidates task ~max_np:bound in
+            let durs =
+              Array.map
+                (fun np -> Grid.scale_duration grid ~site:s (Task.exec_time_f task np))
+                c.Task.nps
+            in
+            (c.Task.nps, durs)))
+  in
+  { order; site_cands }
+
+let schedule ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag =
+  let nb = Dag.n dag in
+  let { order; site_cands } = prepare ~bd ~window grid dag in
   let slots = Array.make nb { site = 0; start = 0; finish = 0; procs = 0 } in
   let grid = ref grid in
   Array.iter
     (fun i ->
-      let task = Dag.task dag i in
       let ready =
         Array.fold_left (fun acc j -> max acc slots.(j).finish) 0 (Dag.preds dag i)
       in
       let best = ref None in
       for s = 0 to Grid.n_sites !grid - 1 do
-        let { Grid.procs = site_procs; speed; _ } = Grid.site !grid s in
-        let bound =
-          match bd with
-          | HBD_ALL -> site_procs
-          | HBD_CPAR -> translate_alloc ~speed ~site_procs ref_allocs.(i)
-        in
         let cal = Grid.calendar !grid s in
         (* candidates by descending processor count; early cut as in the
            homogeneous scheduler *)
-        let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
-        let rec go = function
-          | [] -> ()
-          | np :: rest -> (
-              let dur = Grid.scale_duration !grid ~site:s (Task.exec_time_f task np) in
-              let cut =
-                match !best with Some (_, bf, _, _) -> ready + dur > bf | None -> false
-              in
-              if cut then ()
-              else begin
-                (match Calendar.earliest_fit cal ~after:ready ~procs:np ~dur with
-                | None -> ()
-                | Some start ->
-                    let fin = start + dur in
-                    let better =
-                      match !best with
-                      | None -> true
-                      | Some (_, bf, bnp, bsite) ->
-                          fin < bf || (fin = bf && (np < bnp || (np = bnp && s < bsite)))
-                    in
-                    if better then best := Some ((s, start, fin, np), fin, np, s));
-                go rest
-              end)
+        let nps, durs = site_cands.(s).(i) in
+        let rec go c =
+          if c < 0 then ()
+          else begin
+            let np = nps.(c) and dur = durs.(c) in
+            let cut =
+              match !best with Some (_, bf, _, _) -> ready + dur > bf | None -> false
+            in
+            if cut then ()
+            else begin
+              (match Calendar.earliest_fit cal ~after:ready ~procs:np ~dur with
+              | None -> ()
+              | Some start ->
+                  let fin = start + dur in
+                  let better =
+                    match !best with
+                    | None -> true
+                    | Some (_, bf, bnp, bsite) ->
+                        fin < bf || (fin = bf && (np < bnp || (np = bnp && s < bsite)))
+                  in
+                  if better then best := Some ((s, start, fin, np), fin, np, s));
+              go (c - 1)
+            end
+          end
         in
-        go candidates
+        go (Array.length nps - 1)
       done;
       match !best with
       | None -> assert false (* 1 processor on any site always fits eventually *)
@@ -100,45 +128,39 @@ let schedule ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag =
     order;
   { slots }
 
-let deadline ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag ~deadline =
+let deadline_prepared ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag =
   let nb = Dag.n dag in
-  let ref_procs =
-    match bd with
-    | HBD_ALL -> Grid.reference_procs grid
-    | HBD_CPAR -> min (Grid.reference_procs grid) (reference_available grid ~window)
-  in
-  let ref_allocs = Allocation.allocate ~p:ref_procs dag in
-  let weights = Allocation.weights dag ~allocs:ref_allocs in
-  let order = Mp_cpa.Mapping.bl_order dag ~weights in
-  let slots = Array.make nb { site = 0; start = 0; finish = 0; procs = 0 } in
-  let grid = ref grid in
-  (* increasing bottom level = reverse of the forward order *)
-  let rec go k =
-    if k < 0 then Some { slots }
-    else begin
-      let i = order.(k) in
-      let task = Dag.task dag i in
-      let dl =
-        Array.fold_left (fun acc j -> min acc slots.(j).start) deadline (Dag.succs dag i)
-      in
-      let best = ref None in
-      for s = 0 to Grid.n_sites !grid - 1 do
-        let { Grid.procs = site_procs; speed; _ } = Grid.site !grid s in
-        let bound =
-          match bd with
-          | HBD_ALL -> site_procs
-          | HBD_CPAR -> translate_alloc ~speed ~site_procs ref_allocs.(i)
+  let { order; site_cands } = prepare ~bd ~window grid dag in
+  fun ~deadline ->
+    let slots = Array.make nb { site = 0; start = 0; finish = 0; procs = 0 } in
+    let grid = ref grid in
+    (* increasing bottom level = reverse of the forward order *)
+    let rec go k =
+      if k < 0 then Some { slots }
+      else begin
+        let i = order.(k) in
+        let dl =
+          Array.fold_left (fun acc j -> min acc slots.(j).start) deadline (Dag.succs dag i)
         in
-        let cal = Grid.calendar !grid s in
-        let candidates = List.rev (Task.alloc_candidates task ~max_np:bound) in
-        let rec try_cands = function
-          | [] -> ()
-          | np :: rest -> (
-              let dur = Grid.scale_duration !grid ~site:s (Task.exec_time_f task np) in
+        let best = ref None in
+        for s = 0 to Grid.n_sites !grid - 1 do
+          let cal = Grid.calendar !grid s in
+          let nps, durs = site_cands.(s).(i) in
+          let rec try_cands c =
+            if c < 0 then ()
+            else begin
+              let np = nps.(c) and dur = durs.(c) in
               let cut = match !best with Some (_, bs, _, _) -> dl - dur < bs | None -> false in
               if cut then ()
               else begin
-                (match Calendar.latest_fit cal ~earliest:0 ~finish_by:dl ~procs:np ~dur with
+                (* Starts before the best one lose the selection below even
+                   on ties (equal start falls to processor then site order,
+                   and the query result is the same segment either way), so
+                   the scan may stop at [bs]. *)
+                let earliest =
+                  match !best with None -> 0 | Some (_, bs, _, _) -> max 0 bs
+                in
+                (match Calendar.latest_fit cal ~earliest ~finish_by:dl ~procs:np ~dur with
                 | None -> ()
                 | Some start ->
                     let better =
@@ -148,22 +170,27 @@ let deadline ?(bd = HBD_CPAR) ?(window = 7 * day) grid dag ~deadline =
                           start > bs || (start = bs && (np < bnp || (np = bnp && s < bsite)))
                     in
                     if better then best := Some ((s, start, start + dur, np), start, np, s));
-                try_cands rest
-              end)
-        in
-        try_cands candidates
-      done;
-      match !best with
-      | None -> None
-      | Some ((s, start, fin, np), _, _, _) ->
-          grid := Grid.reserve !grid ~site:s (Reservation.make ~start ~finish:fin ~procs:np);
-          slots.(i) <- { site = s; start; finish = fin; procs = np };
-          go (k - 1)
-    end
-  in
-  go (nb - 1)
+                try_cands (c - 1)
+              end
+            end
+          in
+          try_cands (Array.length nps - 1)
+        done;
+        match !best with
+        | None -> None
+        | Some ((s, start, fin, np), _, _, _) ->
+            grid := Grid.reserve !grid ~site:s (Reservation.make ~start ~finish:fin ~procs:np);
+            slots.(i) <- { site = s; start; finish = fin; procs = np };
+            go (k - 1)
+      end
+    in
+    go (nb - 1)
+
+let deadline ?bd ?window grid dag ~deadline =
+  deadline_prepared ?bd ?window grid dag ~deadline
 
 let tightest ?bd grid dag =
+  let prepared = deadline_prepared ?bd grid dag in
   let weights =
     (* optimistic: every task on its best site at full size *)
     Array.map
@@ -180,7 +207,7 @@ let tightest ?bd grid dag =
   let rec bracket hi attempts =
     if attempts = 0 then None
     else begin
-      match deadline ?bd grid dag ~deadline:hi with
+      match prepared ~deadline:hi with
       | Some sched -> Some (hi, sched)
       | None -> bracket (hi * 2) (attempts - 1)
     end
@@ -192,7 +219,7 @@ let tightest ?bd grid dag =
         if hi - lo <= 60 then best
         else begin
           let mid = lo + ((hi - lo) / 2) in
-          match deadline ?bd grid dag ~deadline:mid with
+          match prepared ~deadline:mid with
           | Some sched -> search lo mid (mid, sched)
           | None -> search mid hi best
         end

@@ -47,6 +47,19 @@ val deadline :
     lower site index).  [None] when some task cannot be placed at or
     after time 0. *)
 
+val deadline_prepared :
+  ?bd:bound_method ->
+  ?window:int ->
+  Mp_platform.Grid.t ->
+  Mp_dag.Dag.t ->
+  deadline:int ->
+  t option
+(** Partial application at [Grid.t -> Dag.t] precomputes the
+    deadline-independent data (reference allocations, bottom-level order,
+    per-⟨site, task⟩ candidate counts and site-scaled durations); deadline
+    sweeps — {!tightest}'s bracket + binary search — reuse the closure
+    instead of rebuilding it per probe. *)
+
 val tightest : ?bd:bound_method -> Mp_platform.Grid.t -> Mp_dag.Dag.t -> (int * t) option
 (** Binary search for the smallest feasible deadline of {!deadline}
     (60 s resolution), as in the paper's Section 5.3 evaluation. *)

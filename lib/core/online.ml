@@ -10,34 +10,39 @@ let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~e
   Mp_obs.Span.wrap sp_schedule @@ fun () ->
   let order = Bottom_level.order bl env dag in
   let bounds = Bound.bounds bd env dag in
+  let cands =
+    Array.init (Dag.n dag) (fun i ->
+        Mp_dag.Task.candidates (Dag.task dag i) ~max_np:(max 1 bounds.(i)))
+  in
   let slots = Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot) in
-  let cal = ref env.calendar in
+  (* Competitor grants and task placements interleave strictly forward, so
+     the whole run fits one calendar transaction. *)
+  let cal = Calendar.Txn.start env.calendar in
   let granted = ref [] in
   Array.iteri
     (fun k i ->
       if k < Array.length events then
         List.iter
           (fun (r : Reservation.t) ->
-            match Calendar.reserve_opt !cal r with
-            | Some cal' ->
-                Mp_obs.Counter.incr c_granted;
-                Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
-                  ~granted:true;
-                cal := cal';
-                granted := r :: !granted
-            | None ->
-                (* the competitor lost the race for that slot *)
-                Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
-                  ~granted:false)
+            if Calendar.Txn.reserve_opt cal r then begin
+              Mp_obs.Counter.incr c_granted;
+              Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
+                ~granted:true;
+              granted := r :: !granted
+            end
+            else
+              (* the competitor lost the race for that slot *)
+              Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
+                ~granted:false)
           events.(k);
       let ready =
         Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) 0 (Dag.preds dag i)
       in
       let s, fin, np =
-        Ressched.place ~kind:Mp_forensics.Journal.Online_forward !cal (Dag.task dag i) ~ready
-          ~bound:(max 1 bounds.(i))
+        Ressched.place_cands_txn ~kind:Mp_forensics.Journal.Online_forward cal (Dag.task dag i)
+          ~ready ~cands:cands.(i)
       in
-      cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:fin ~procs:np);
+      Calendar.Txn.reserve cal (Reservation.make ~start:s ~finish:fin ~procs:np);
       slots.(i) <- { start = s; finish = fin; procs = np })
     order;
   ({ Schedule.slots }, List.rev !granted)

@@ -46,4 +46,27 @@ val place :
     for the {!Online} and ablation schedulers, which share the placement
     rule but drive the calendar differently.  [kind] (default [Forward])
     only tags the {!Mp_forensics.Journal} entry when journaling is on; it
-    never affects the decision. *)
+    never affects the decision.  Rebuilds the candidate table on every
+    call — callers placing the same task repeatedly should precompute
+    {!Mp_dag.Task.candidates} once and use {!place_cands}. *)
+
+val place_cands :
+  ?kind:Mp_forensics.Journal.kind ->
+  Mp_platform.Calendar.t ->
+  Mp_dag.Task.t ->
+  ready:int ->
+  cands:Mp_dag.Task.candidates ->
+  int * int * int
+(** {!place} with the candidate table supplied by the caller ([cands]
+    must come from [Task.candidates task]; the decision is identical). *)
+
+val place_cands_txn :
+  ?kind:Mp_forensics.Journal.kind ->
+  Mp_platform.Calendar.Txn.t ->
+  Mp_dag.Task.t ->
+  ready:int ->
+  cands:Mp_dag.Task.candidates ->
+  int * int * int
+(** {!place_cands} against a calendar transaction instead of a persistent
+    calendar version (same decision; used by the linear scheduling loops
+    that reserve in place). *)

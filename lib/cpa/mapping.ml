@@ -26,7 +26,9 @@ let map dag ~allocs ~p =
   let slots =
     Array.make (Dag.n dag) ({ start = 0; finish = 0; procs = 0 } : Schedule.slot)
   in
-  let cal = ref (Calendar.create ~procs:p) in
+  (* Strictly linear place-then-reserve loop on a throwaway calendar: run
+     it on a mutable transaction. *)
+  let cal = Calendar.Txn.start (Calendar.create ~procs:p) in
   Array.iter
     (fun i ->
       let ready =
@@ -34,11 +36,11 @@ let map dag ~allocs ~p =
       in
       let np = allocs.(i) in
       let dur = Task.exec_time (Dag.task dag i) np in
-      match Calendar.earliest_fit !cal ~after:ready ~procs:np ~dur with
+      match Calendar.Txn.earliest_fit cal ~after:ready ~procs:np ~dur with
       | None -> assert false (* np <= p on an empty-calendar cluster always fits *)
       | Some s ->
           Mp_obs.Counter.incr c_placements;
-          cal := Calendar.reserve !cal (Reservation.make ~start:s ~finish:(s + dur) ~procs:np);
+          Calendar.Txn.reserve cal (Reservation.make ~start:s ~finish:(s + dur) ~procs:np);
           slots.(i) <- { start = s; finish = s + dur; procs = np })
     order;
   Mp_obs.Timer.stop t_map obs_t0;
@@ -50,7 +52,7 @@ let map dag ~allocs ~p =
   end;
   { Schedule.slots }
 
-let map_subset dag ~allocs ~p ~keep =
+let map_subset0 dag ~allocs ~p ~keep =
   match Dag.sub dag ~keep with
   | None -> None
   | Some (sub, mapping) ->
@@ -63,3 +65,53 @@ let map_subset dag ~allocs ~p ~keep =
         (fun new_i old_i -> if old_i >= 0 then starts.(old_i) <- Schedule.start sched new_i)
         mapping;
       Some starts
+
+let map_subset = map_subset0
+
+(* The resource-conservative backward pass consumes reference schedules of
+   strict order-prefixes: at backward step [k] the unplaced set is exactly
+   {order.(0), …, order.(k)}, and only the start of order.(k) is read.  So
+   instead of rebuilding the sub-DAG (and its weights and bl-sort) per
+   placement × per deadline probe, we peel tasks off a single [keep] array,
+   from the full DAG down to the singleton prefix, and memoize one start
+   value per position.  Positions are filled lazily in decreasing order —
+   the same order the backward pass requests them — so a probe that fails
+   early never pays for the prefixes it did not reach, and every later
+   probe reads the memo for free. *)
+type references = {
+  r_dag : Dag.t;
+  r_allocs : int array;
+  r_p : int;
+  r_order : int array;
+  r_keep : bool array; (* keep.(order.(j)) = false for j >= r_next *)
+  r_starts : int array; (* valid for positions >= r_next *)
+  mutable r_next : int; (* lowest position computed so far *)
+}
+
+let prefix_references dag ~allocs ~p ~order =
+  let n = Dag.n dag in
+  if Array.length order <> n then
+    invalid_arg "Mapping.prefix_references: order length mismatch";
+  {
+    r_dag = dag;
+    r_allocs = allocs;
+    r_p = p;
+    r_order = order;
+    r_keep = Array.make n true;
+    r_starts = Array.make n 0;
+    r_next = n;
+  }
+
+let reference_start r k =
+  if k < 0 || k >= Array.length r.r_order then
+    invalid_arg "Mapping.reference_start: position out of range";
+  while r.r_next > k do
+    let k' = r.r_next - 1 in
+    let i = r.r_order.(k') in
+    (match map_subset0 r.r_dag ~allocs:r.r_allocs ~p:r.r_p ~keep:r.r_keep with
+    | Some starts -> r.r_starts.(k') <- starts.(i)
+    | None -> r.r_starts.(k') <- 0);
+    r.r_keep.(i) <- false;
+    r.r_next <- k'
+  done;
+  r.r_starts.(k)

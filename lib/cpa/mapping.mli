@@ -22,3 +22,29 @@ val map_subset : Mp_dag.Dag.t -> allocs:int array -> p:int -> keep:bool array ->
     when the restriction is not single-entry/single-exit), and the start
     time of each kept task is returned ([-1] for dropped tasks).  [None]
     when nothing is kept. *)
+
+type references
+(** Memoized reference-schedule starts for every order-prefix of one
+    ⟨dag, allocs, p, order⟩.  The resource-conservative backward pass
+    places tasks at positions [n-1 downto 0] of [order]; at position [k]
+    the unplaced set is exactly the prefix [order.(0..k)], and only the
+    reference start of [order.(k)] is consumed — so all the deadline
+    probes of a λ-sweep or [tightest] search share one start value per
+    position instead of one {!map_subset} rebuild per placement × probe.
+    Stateful (fills its memo on demand): use from one domain at a time —
+    in practice each prepared-scheduler closure owns its own value. *)
+
+val prefix_references :
+  Mp_dag.Dag.t -> allocs:int array -> p:int -> order:int array -> references
+(** O(1); the underlying {!map_subset} calls happen lazily inside
+    {!reference_start}, at most once per position over the value's whole
+    lifetime. *)
+
+val reference_start : references -> int -> int
+(** [reference_start r k] is [starts.(order.(k))] of
+    [map_subset dag ~allocs ~p ~keep:(prefix k)] where [prefix k] keeps
+    exactly [order.(0..k)] (0 when that restriction is empty — it never
+    is for [k >= 0]).  Computing position [k] computes every position
+    [>= k] as a side effect, in decreasing order — matching the backward
+    pass, so failed probes never pay for prefixes they did not reach.
+    Raises [Invalid_argument] when [k] is outside [0, n). *)

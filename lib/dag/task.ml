@@ -15,20 +15,27 @@ let exec_time t np = max 1 (int_of_float (ceil (exec_time_f t np)))
    smaller count's (the output-preserving pruning of DESIGN.md). *)
 let c_plateau_prunes = Mp_obs.Counter.make "amdahl.plateau_prunes"
 
+type candidates = { bound : int; nps : int array; durs : int array }
+
+let candidates t ~max_np =
+  if max_np < 1 then invalid_arg "Task.candidates: max_np < 1";
+  let nps = Array.make max_np 0 and durs = Array.make max_np 0 in
+  let count = ref 0 and prev = ref max_int in
+  for np = 1 to max_np do
+    let e = exec_time t np in
+    if e < !prev then begin
+      nps.(!count) <- np;
+      durs.(!count) <- e;
+      incr count;
+      prev := e
+    end
+    else Mp_obs.Counter.incr c_plateau_prunes
+  done;
+  { bound = max_np; nps = Array.sub nps 0 !count; durs = Array.sub durs 0 !count }
+
 let alloc_candidates t ~max_np =
   if max_np < 1 then invalid_arg "Task.alloc_candidates: max_np < 1";
-  let rec go np prev acc =
-    if np > max_np then List.rev acc
-    else begin
-      let e = exec_time t np in
-      if e < prev then go (np + 1) e (np :: acc)
-      else begin
-        Mp_obs.Counter.incr c_plateau_prunes;
-        go (np + 1) prev acc
-      end
-    end
-  in
-  go 1 max_int []
+  Array.to_list (candidates t ~max_np).nps
 let work t np = np * exec_time t np
 let speedup t np = exec_time_f t 1 /. exec_time_f t np
 let pp ppf t = Format.fprintf ppf "t%d(seq=%.0fs, a=%.3f)" t.id t.seq t.alpha

@@ -21,6 +21,22 @@ val exec_time : t -> int -> int
 val exec_time_f : t -> int -> float
 (** Un-rounded Amdahl execution time, used for bottom-level weights. *)
 
+type candidates = { bound : int; nps : int array; durs : int array }
+(** A per-⟨task, [bound]⟩ candidate table: [nps] is the ascending array of
+    processor counts worth trying (see {!alloc_candidates}) and
+    [durs.(i) = exec_time t nps.(i)].  Treat both arrays as immutable —
+    they are shared across every placement of the schedule that built
+    them. *)
+
+val candidates : t -> max_np:int -> candidates
+(** [candidates t ~max_np] materializes the {!alloc_candidates} scan (and
+    the rounded durations) once, so schedulers probing the same task many
+    times — λ-sweeps, [tightest] binary searches, per-reservation-set
+    reruns — pay for the Amdahl evaluations a single time.  Thread the
+    result explicitly through the scheduling pass; there is deliberately
+    no global memo table, keeping the scan domain-safe under
+    [Mp_prelude.Pool]. *)
+
 val alloc_candidates : t -> max_np:int -> int list
 (** [alloc_candidates t ~max_np] is the ascending list of processor counts
     worth trying when placing this task: 1, plus every [np <= max_np]

@@ -26,35 +26,73 @@ let t_reserve = Mp_obs.Timer.make "calendar.reserve"
    reserves tens of thousands of jobs, querying each version exactly
    once) must not rebuild an O(R) array per version, so the array is only
    materialized once a version has answered a few queries; before that,
-   queries walk the map. *)
+   queries walk the map.
+
+   [bmax] / [bmin] are block-maximum / block-minimum indexes over [vs]
+   ([bmax.(b)] = max of block [b] of [bsize] consecutive segments, [bmin]
+   the min): when a fit walk lands on a block whose maximum availability
+   is below the requested processor count, every segment of the block is
+   blocked and the walk skips the whole block; dually, a block whose
+   minimum clears the request is uniformly free and the window scans step
+   over it whole.  Both skips are exact, and together they turn the long
+   uniform runs of a loaded calendar from [bsize] steps into one. *)
+type view = { ts : int array; vs : int array; bmax : int array; bmin : int array }
+
 type t = {
   procs : int;
   steps : int Imap.t;
-  bps : (int array * int array) Lazy.t;
+  bps : view Lazy.t;
   mutable queries : int;
 }
 
 exception Overcommitted of Reservation.t
 
 let force_threshold = 3
+let bsize = 8
 
-let mk procs steps =
+(* Recompute [bmax] / [bmin] exactly for blocks [from_block .. to_block]
+   of the first [n] entries of [vs] (the arrays may carry capacity slack
+   past [n]). *)
+let refresh_blocks bmax bmin vs n ~from_block ~to_block =
+  for b = from_block to to_block do
+    let hi = min n ((b + 1) * bsize) - 1 in
+    let mx = ref vs.(b * bsize) and mn = ref vs.(b * bsize) in
+    for j = (b * bsize) + 1 to hi do
+      let v = vs.(j) in
+      if v > !mx then mx := v;
+      if v < !mn then mn := v
+    done;
+    bmax.(b) <- !mx;
+    bmin.(b) <- !mn
+  done
+
+let view_of_arrays (ts, vs) =
+  let n = Array.length ts in
+  let nb = (n + bsize - 1) / bsize in
+  let bmax = Array.make nb 0 and bmin = Array.make nb 0 in
+  refresh_blocks bmax bmin vs n ~from_block:0 ~to_block:(nb - 1);
+  { ts; vs; bmax; bmin }
+
+let mk ?view procs steps =
   {
     procs;
     steps;
     queries = 0;
     bps =
-      lazy
-        (let n = Imap.cardinal steps in
-         let ts = Array.make n 0 and vs = Array.make n 0 in
-         let i = ref 0 in
-         Imap.iter
-           (fun time v ->
-             ts.(!i) <- time;
-             vs.(!i) <- v;
-             incr i)
-           steps;
-         (ts, vs));
+      (match view with
+      | Some v -> Lazy.from_val v
+      | None ->
+          lazy
+            (let n = Imap.cardinal steps in
+             let ts = Array.make n 0 and vs = Array.make n 0 in
+             let i = ref 0 in
+             Imap.iter
+               (fun time v ->
+                 ts.(!i) <- time;
+                 vs.(!i) <- v;
+                 incr i)
+               steps;
+             view_of_arrays (ts, vs)));
   }
 
 (* The array view, if this calendar version is hot enough to warrant it.
@@ -81,15 +119,19 @@ let create ~procs =
 let procs t = t.procs
 let breakpoints t = Imap.cardinal t.steps
 
-(* Index of the segment containing [time]: greatest i with ts.(i) <= time.
-   Always defined thanks to the min_int sentinel. *)
-let seg_index ts time =
-  let lo = ref 0 and hi = ref (Array.length ts - 1) in
+(* Index of the segment containing [time] among the first [n] entries:
+   greatest i with ts.(i) <= time.  Always defined thanks to the min_int
+   sentinel.  ([n] is passed explicitly because a {!Txn} keeps capacity
+   slack past its logical length.) *)
+let seg_index_n ts n time =
+  let lo = ref 0 and hi = ref (n - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi + 1) / 2 in
     if ts.(mid) <= time then lo := mid else hi := mid - 1
   done;
   !lo
+
+let seg_index ts time = seg_index_n ts (Array.length ts) time
 
 let value_before_or_at steps time =
   match Imap.find_last (fun k -> k <= time) steps with
@@ -98,7 +140,7 @@ let value_before_or_at steps time =
 
 let available_at t time =
   match arrays t with
-  | Some (ts, vs) -> vs.(seg_index ts time)
+  | Some { ts; vs; _ } -> vs.(seg_index ts time)
   | None -> value_before_or_at t.steps time
 
 (* Ensure a breakpoint exists exactly at [time] (same value as the segment
@@ -158,6 +200,45 @@ let affected_breakpoints steps ~start ~finish =
   in
   collect [] (Imap.to_seq_from start steps)
 
+(* Successor arrays of [reserve r] built by patching the parent's
+   materialized arrays: a breakpoint is inserted at [r.start] / [r.finish]
+   when missing (same value as its enclosing segment, mirroring [cut]) and
+   [r.procs] is subtracted from every breakpoint in [r.start, r.finish).
+   Equal, entry for entry, to materializing the successor's map — pinned
+   against the map path by the qcheck properties in test_platform.ml. *)
+let patch_view { ts; vs; _ } (r : Reservation.t) =
+  let n = Array.length ts in
+  let i0 = seg_index ts r.start in
+  let ins_start = ts.(i0) <> r.start in
+  let i1 = seg_index ts r.finish in
+  let ins_fin = ts.(i1) <> r.finish in
+  let n' = n + (if ins_start then 1 else 0) + (if ins_fin then 1 else 0) in
+  let ts' = Array.make n' 0 and vs' = Array.make n' 0 in
+  Array.blit ts 0 ts' 0 (i0 + 1);
+  Array.blit vs 0 vs' 0 (i0 + 1);
+  let w = ref (i0 + 1) in
+  if ins_start then begin
+    ts'.(!w) <- r.start;
+    vs'.(!w) <- vs.(i0);
+    incr w
+  end;
+  Array.blit ts (i0 + 1) ts' !w (i1 - i0);
+  Array.blit vs (i0 + 1) vs' !w (i1 - i0);
+  w := !w + (i1 - i0);
+  if ins_fin then begin
+    ts'.(!w) <- r.finish;
+    vs'.(!w) <- vs.(i1);
+    incr w
+  end;
+  Array.blit ts (i1 + 1) ts' !w (n - i1 - 1);
+  Array.blit vs (i1 + 1) vs' !w (n - i1 - 1);
+  let j = ref (if ins_start then i0 + 1 else i0) in
+  while !j < n' && ts'.(!j) < r.finish do
+    vs'.(!j) <- vs'.(!j) - r.procs;
+    incr j
+  done;
+  view_of_arrays (ts', vs')
+
 let reserve t (r : Reservation.t) =
   Mp_obs.Counter.incr c_reserve;
   let t0 = Mp_obs.Timer.start () in
@@ -170,7 +251,12 @@ let reserve t (r : Reservation.t) =
   let steps =
     List.fold_left (fun m (time, v) -> Imap.add time (v - r.procs) m) steps affected
   in
-  let t' = mk t.procs steps in
+  (* When this version already paid for its array view, hand the successor
+     a patched copy instead of making it re-materialize O(R) from the map
+     on its next hot query: reserve-then-query chains (every backward /
+     list-scheduling pass) stay on the array path throughout. *)
+  let view = if Lazy.is_val t.bps then Some (patch_view (Lazy.force t.bps) r) else None in
+  let t' = mk ?view t.procs steps in
   Mp_obs.Timer.stop t_reserve t0;
   t'
 
@@ -191,9 +277,6 @@ let release t (r : Reservation.t) =
   in
   mk t.procs steps
 
-let of_reservations ~procs rs =
-  List.fold_left reserve (create ~procs) (List.sort Reservation.compare_by_start rs)
-
 (* --- earliest_fit ----------------------------------------------------- *)
 
 (* Candidate starts only need to be considered at [after] and at segment
@@ -201,27 +284,44 @@ let of_reservations ~procs rs =
    the blocking breakpoint, so the scan visits each breakpoint at most
    once: O(R). *)
 
-let earliest_fit_arrays (ts, vs) ~after ~procs ~dur =
-  let n = Array.length ts in
-  (* from segment index [i] with candidate start [s] (s inside segment i),
-     either the window [s, s+dur) is clear, or restart past the first
-     blocking segment *)
+(* The walk over the first [n] entries of the arrays, shared by the
+   persistent array path ([n] = full length) and {!Txn} ([n] = logical
+   length).  From segment index [i] with candidate start [s] (s inside
+   segment i), either the window [s, s+dur) is clear, or restart past the
+   first blocking segment; the forward search for that restart point skips
+   a whole block at once when its maximum availability is below [procs]
+   (every segment of the block blocks, so none can host the restart). *)
+let earliest_fit_walk ts vs bmax bmin n ~after ~limit ~procs ~dur =
   let rec attempt i s =
-    if vs.(i) < procs then begin
-      let rec next j = if j >= n then None else if vs.(j) >= procs then Some j else next (j + 1) in
+    if s > limit then None
+    else if vs.(i) < procs then begin
+      let rec next j =
+        if j >= n then None
+        else if bmax.(j / bsize) < procs then next (((j / bsize) + 1) * bsize)
+        else if vs.(j) >= procs then Some j
+        else next (j + 1)
+      in
       match next (i + 1) with None -> None | Some j -> attempt j ts.(j)
     end
     else begin
       let limit = s + dur in
+      (* A uniformly free block passes the window check whole: every
+         segment in it would take the [scan (j + 1)] branch, and if the
+         jump overshoots an index with [ts.(j) >= limit] the landing
+         check returns the same [Some s]. *)
       let rec scan j =
         if j >= n || ts.(j) >= limit then Some s
+        else if bmin.(j / bsize) >= procs then scan (((j / bsize) + 1) * bsize)
         else if vs.(j) < procs then attempt j ts.(j)
         else scan (j + 1)
       in
       scan (i + 1)
     end
   in
-  attempt (seg_index ts after) after
+  attempt (seg_index_n ts n after) after
+
+let earliest_fit_arrays { ts; vs; bmax; bmin } ~after ~procs ~dur =
+  earliest_fit_walk ts vs bmax bmin (Array.length ts) ~after ~limit:max_int ~procs ~dur
 
 let earliest_fit_map steps ~after ~procs ~dur =
   (* Smallest time >= s with availability >= procs; None if availability
@@ -275,21 +375,53 @@ let earliest_fit t ~after ~procs ~dur =
 
 (* --- latest_fit ------------------------------------------------------- *)
 
-let latest_fit_arrays (ts, vs) ~earliest ~finish_by ~procs ~dur =
-  (* Scan segments backward from the one containing [finish_by - 1],
-     maintaining [finish_limit], the latest possible window end given the
-     blocked segments seen so far; the invariant is that
-     [ts.(i+1), finish_limit) is clear. *)
+(* Scan segments backward from the one containing [finish_by - 1],
+   maintaining [finish_limit], the latest possible window end given the
+   blocked segments seen so far; the invariant is that
+   [ts.(i+1), finish_limit) is clear.  A blocked segment whose whole block
+   is blocked jumps straight to the previous block with [finish_limit] set
+   to the block's first breakpoint — exactly where the one-segment-at-a-
+   time walk would have arrived (every skipped step only lowers
+   [finish_limit], and the early exit on [finish_limit - dur < earliest]
+   is monotone in it, so the outcome is unchanged). *)
+let latest_fit_walk_from ts vs bmax bmin ~start_index ~finish_limit ~earliest ~procs ~dur =
   let rec scan i finish_limit =
     if finish_limit - dur < earliest then None
     else if vs.(i) >= procs then begin
       let s = finish_limit - dur in
-      if s >= ts.(i) then Some s else if i = 0 then Some s else scan (i - 1) finish_limit
+      if s >= ts.(i) then Some s
+      else if i = 0 then Some s
+      else begin
+        (* A uniformly free block: the stepwise walk would cross it with
+           [finish_limit] unchanged, stopping inside only to answer
+           [Some s] at the segment containing [s] (the block's first
+           breakpoint is at most [s] exactly when that segment is in this
+           block — [ts.(0)] is the [min_int] sentinel, so block 0 always
+           is). *)
+        let b = i / bsize in
+        if bmin.(b) >= procs then
+          if s >= ts.(b * bsize) then Some s
+          else scan ((b * bsize) - 1) finish_limit
+        else scan (i - 1) finish_limit
+      end
     end
-    else if i = 0 then None
-    else scan (i - 1) ts.(i)
+    else begin
+      let b = i / bsize in
+      if bmax.(b) < procs then
+        if b = 0 then None else scan ((b * bsize) - 1) ts.(b * bsize)
+      else if i = 0 then None
+      else scan (i - 1) ts.(i)
+    end
   in
-  scan (seg_index ts (finish_by - 1)) finish_by
+  scan start_index finish_limit
+
+let latest_fit_walk ts vs bmax bmin n ~earliest ~finish_by ~procs ~dur =
+  latest_fit_walk_from ts vs bmax bmin
+    ~start_index:(seg_index_n ts n (finish_by - 1))
+    ~finish_limit:finish_by ~earliest ~procs ~dur
+
+let latest_fit_arrays { ts; vs; bmax; bmin } ~earliest ~finish_by ~procs ~dur =
+  latest_fit_walk ts vs bmax bmin (Array.length ts) ~earliest ~finish_by ~procs ~dur
 
 let latest_fit_map t ~earliest ~finish_by ~procs ~dur =
   let segs = segments t ~from_:(min earliest (finish_by - dur)) ~until:finish_by in
@@ -331,6 +463,294 @@ let latest_fit t ~earliest ~finish_by ~procs ~dur =
   in
   Mp_obs.Timer.stop t_latest_fit t0;
   r
+
+(* --- Txn -------------------------------------------------------------- *)
+
+(* A mutable, single-owner view for the linear reserve-then-query passes
+   (backward deadline scheduling, CPA mapping, list scheduling): those
+   loops thread [Calendar.reserve]'s result straight into the next query
+   and never revisit an intermediate version, so persistence buys nothing
+   there while every step pays O(R) array patching plus map surgery.  A
+   Txn copies the segment arrays once and then reserves in place: a
+   membership scan, at most two [Array.blit] insertions, a range
+   decrement, and a block-maximum refresh.  Queries run the exact walks
+   of the persistent array path, so a Txn answers every query identically
+   to the persistent calendar that would result from the same reserves
+   (pinned by a qcheck property in test_platform.ml). *)
+module Txn = struct
+  type cal = t
+
+  type nonrec t = {
+    procs : int;
+    mutable ts : int array;
+    mutable vs : int array;
+    mutable bmax : int array;
+    mutable bmin : int array;
+    mutable n : int; (* logical length; the arrays carry capacity slack *)
+    mutable loose : int; (* reserves since the block extrema were last exact *)
+    mutable gen : int; (* bumped by every state change; guards {!scan} reuse *)
+  }
+
+  (* Slack so that the first reservations never reallocate. *)
+  let slack = 64
+
+  (* Full extrema refreshes are amortized over this many inserting
+     reserves (see [reserve]). *)
+  let refresh_every = 16
+
+  let of_steps procs steps =
+    let n = Imap.cardinal steps in
+    let cap = n + slack in
+    let ts = Array.make cap 0 and vs = Array.make cap 0 in
+    let i = ref 0 in
+    Imap.iter
+      (fun time v ->
+        ts.(!i) <- time;
+        vs.(!i) <- v;
+        incr i)
+      steps;
+    let nb = (cap + bsize - 1) / bsize in
+    let bmax = Array.make nb 0 and bmin = Array.make nb 0 in
+    refresh_blocks bmax bmin vs n ~from_block:0 ~to_block:(((n + bsize - 1) / bsize) - 1);
+    { procs; ts; vs; bmax; bmin; n; loose = 0; gen = 0 }
+
+  let start (cal : cal) =
+    match arrays cal with
+    | None -> of_steps cal.procs cal.steps
+    | Some { ts; vs; bmax; bmin } ->
+        let n = Array.length ts in
+        let cap = n + slack in
+        let ts' = Array.make cap 0 and vs' = Array.make cap 0 in
+        Array.blit ts 0 ts' 0 n;
+        Array.blit vs 0 vs' 0 n;
+        let nb = (cap + bsize - 1) / bsize in
+        let bmax' = Array.make nb 0 and bmin' = Array.make nb 0 in
+        Array.blit bmax 0 bmax' 0 (Array.length bmax);
+        Array.blit bmin 0 bmin' 0 (Array.length bmin);
+        { procs = cal.procs; ts = ts'; vs = vs'; bmax = bmax'; bmin = bmin'; n; loose = 0; gen = 0 }
+
+  let procs t = t.procs
+  let available_at t time = t.vs.(seg_index_n t.ts t.n time)
+
+  let can_reserve t (r : Reservation.t) =
+    (* Uniformly free blocks pass whole, as in the fit walks: overshooting
+       an index with [ts.(i) >= r.finish] lands on the same [true]. *)
+    let rec ok i =
+      i >= t.n
+      || t.ts.(i) >= r.finish
+      ||
+      if t.bmin.(i / bsize) >= r.procs then ok (((i / bsize) + 1) * bsize)
+      else t.vs.(i) >= r.procs && ok (i + 1)
+    in
+    ok (seg_index_n t.ts t.n r.start)
+
+  let grow t =
+    let cap = 2 * Array.length t.ts in
+    let ts = Array.make cap 0 and vs = Array.make cap 0 in
+    Array.blit t.ts 0 ts 0 t.n;
+    Array.blit t.vs 0 vs 0 t.n;
+    let nb = (cap + bsize - 1) / bsize in
+    let bmax = Array.make nb 0 and bmin = Array.make nb 0 in
+    Array.blit t.bmax 0 bmax 0 (Array.length t.bmax);
+    Array.blit t.bmin 0 bmin 0 (Array.length t.bmin);
+    t.ts <- ts;
+    t.vs <- vs;
+    t.bmax <- bmax;
+    t.bmin <- bmin
+
+  (* Insert breakpoint (time, v) at position [idx], shifting the tail. *)
+  let insert t idx time v =
+    Array.blit t.ts idx t.ts (idx + 1) (t.n - idx);
+    Array.blit t.vs idx t.vs (idx + 1) (t.n - idx);
+    t.ts.(idx) <- time;
+    t.vs.(idx) <- v;
+    t.n <- t.n + 1
+
+  let reserve t (r : Reservation.t) =
+    Mp_obs.Counter.incr c_reserve;
+    let t0 = Mp_obs.Timer.start () in
+    if not (can_reserve t r) then raise (Overcommitted r);
+    t.gen <- t.gen + 1;
+    if t.n + 2 > Array.length t.ts then grow t;
+    let n_before = t.n in
+    let i0 = seg_index_n t.ts t.n r.start in
+    (* Mirror [cut]: ensure breakpoints exactly at r.start / r.finish. *)
+    let s0 =
+      if t.ts.(i0) = r.start then i0
+      else begin
+        insert t (i0 + 1) r.start t.vs.(i0);
+        i0 + 1
+      end
+    in
+    let i1 = seg_index_n t.ts t.n r.finish in
+    if t.ts.(i1) <> r.finish then insert t (i1 + 1) r.finish t.vs.(i1);
+    let j = ref s0 in
+    while !j < t.n && t.ts.(!j) < r.finish do
+      t.vs.(!j) <- t.vs.(!j) - r.procs;
+      incr j
+    done;
+    (* Entries below [s0] are untouched.  Blocks covering the decremented
+       range get exact new extrema.  Blocks past it hold unchanged values,
+       but the inserts shifted them right by [k <= 2] positions, so block
+       [b]'s entries now come from the old blocks [b - 1] and [b]; merging
+       each block's bounds with its left neighbour's (downward, so the
+       right-hand side is always the pre-reserve value, and the block
+       adjoining the recomputed range uses the saved pre-reserve bound)
+       keeps [bmax] an upper bound and [bmin] a lower bound.  Conservative
+       bounds only make the walks skip less, never answer differently, and
+       a full refresh every [refresh_every] inserting reserves keeps the
+       drift bounded — amortized O(R / refresh_every) against the O(R)
+       per-reserve refresh this replaces, which dominated bulk loads. *)
+    let k = t.n - n_before in
+    let b0 = s0 / bsize in
+    let bend = (!j - 1) / bsize in
+    let nb = (t.n + bsize - 1) / bsize in
+    if k = 0 then refresh_blocks t.bmax t.bmin t.vs t.n ~from_block:b0 ~to_block:bend
+    else begin
+      t.loose <- t.loose + 1;
+      if t.loose >= refresh_every || bend >= nb - 1 then begin
+        refresh_blocks t.bmax t.bmin t.vs t.n ~from_block:b0 ~to_block:(nb - 1);
+        t.loose <- 0
+      end
+      else begin
+        let old_max = t.bmax.(bend) and old_min = t.bmin.(bend) in
+        refresh_blocks t.bmax t.bmin t.vs t.n ~from_block:b0 ~to_block:bend;
+        for b = nb - 1 downto bend + 2 do
+          if t.bmax.(b - 1) > t.bmax.(b) then t.bmax.(b) <- t.bmax.(b - 1);
+          if t.bmin.(b - 1) < t.bmin.(b) then t.bmin.(b) <- t.bmin.(b - 1)
+        done;
+        if old_max > t.bmax.(bend + 1) then t.bmax.(bend + 1) <- old_max;
+        if old_min < t.bmin.(bend + 1) then t.bmin.(bend + 1) <- old_min
+      end
+    end;
+    Mp_obs.Timer.stop t_reserve t0
+
+  let reserve_opt t r = if can_reserve t r then (reserve t r; true) else false
+
+  (* Persistent calendar equal to the transaction's current state.  The
+     steps map gets exactly the transaction's breakpoints — [reserve]
+     inserts cut points at reservation bounds and never removes any,
+     matching the persistent [reserve]'s [cut] — and the array view is
+     handed over pre-materialized, trimmed to the logical length. *)
+  let commit t =
+    let steps = ref Imap.empty in
+    for i = t.n - 1 downto 0 do
+      steps := Imap.add t.ts.(i) t.vs.(i) !steps
+    done;
+    let nb = (t.n + bsize - 1) / bsize in
+    let bmax = Array.sub t.bmax 0 nb and bmin = Array.sub t.bmin 0 nb in
+    (* The transaction's bounds may be conservative (see [reserve]); the
+       long-lived committed view gets exact ones. *)
+    refresh_blocks bmax bmin t.vs t.n ~from_block:0 ~to_block:(nb - 1);
+    let view : view =
+      { ts = Array.sub t.ts 0 t.n; vs = Array.sub t.vs 0 t.n; bmax; bmin }
+    in
+    mk ~view t.procs !steps
+
+  (* [limit] bounds the start times worth reporting: a walk whose earliest
+     candidate start exceeds [limit] returns [None] without visiting the
+     rest of the calendar.  Equivalent to running the unbounded query and
+     dropping a result above [limit] — callers that ignore any such result
+     (a start past [deadline - dur] can never make its deadline) use the
+     bound to cut the scan short. *)
+  let earliest_fit ?(limit = max_int) t ~after ~procs ~dur =
+    if procs < 1 then invalid_arg "Calendar.Txn.earliest_fit: procs < 1";
+    if dur < 1 then invalid_arg "Calendar.Txn.earliest_fit: dur < 1";
+    Mp_obs.Counter.incr c_earliest_fit;
+    let t0 = Mp_obs.Timer.start () in
+    let r =
+      if procs > t.procs then None
+      else begin
+        Mp_obs.Counter.incr c_array_path;
+        earliest_fit_walk t.ts t.vs t.bmax t.bmin t.n ~after ~limit ~procs ~dur
+      end
+    in
+    Mp_obs.Timer.stop t_earliest_fit t0;
+    r
+
+  let latest_fit t ~earliest ~finish_by ~procs ~dur =
+    if procs < 1 then invalid_arg "Calendar.Txn.latest_fit: procs < 1";
+    if dur < 1 then invalid_arg "Calendar.Txn.latest_fit: dur < 1";
+    Mp_obs.Counter.incr c_latest_fit;
+    let t0 = Mp_obs.Timer.start () in
+    let r =
+      if procs > t.procs then None
+      else if finish_by - dur < earliest then None
+      else begin
+        Mp_obs.Counter.incr c_array_path;
+        latest_fit_walk t.ts t.vs t.bmax t.bmin t.n ~earliest ~finish_by ~procs ~dur
+      end
+    in
+    Mp_obs.Timer.stop t_latest_fit t0;
+    r
+
+  (* A placement evaluates dozens of candidate ⟨procs, dur⟩ pairs against
+     the same calendar state and the same [finish_by], and each backward
+     walk re-descends the same run of breakpoints below the deadline.  A
+     scan context captures that shared prefix once: [smax.(k)] = maximum
+     availability over segment indices [k .. hi] (the segment holding
+     [finish_by - 1]).  A query then finds the latest segment clear for
+     its processor count by binary search on the non-increasing [smax] and
+     enters the walk right there, with exactly the [finish_limit] the
+     stepwise descent would have carried to that segment (every index
+     above it is blocked for [procs], so the descent only lowers the
+     limit to that segment's successor breakpoint, and its early exit on
+     [finish_limit - dur < earliest] is subsumed by the same check at the
+     entry point). *)
+  type scan = { txn : t; sc_gen : int; finish_by : int; hi : int; smax : int array }
+
+  let latest_scan t ~finish_by =
+    let hi = seg_index_n t.ts t.n (finish_by - 1) in
+    let smax = Array.make (hi + 2) 0 in
+    for k = hi downto 0 do
+      smax.(k) <- (if t.vs.(k) > smax.(k + 1) then t.vs.(k) else smax.(k + 1))
+    done;
+    { txn = t; sc_gen = t.gen; finish_by; hi; smax }
+
+  let latest_fit_scan sc ~earliest ~procs ~dur =
+    if procs < 1 then invalid_arg "Calendar.Txn.latest_fit_scan: procs < 1";
+    if dur < 1 then invalid_arg "Calendar.Txn.latest_fit_scan: dur < 1";
+    let t = sc.txn in
+    if sc.sc_gen <> t.gen then
+      invalid_arg "Calendar.Txn.latest_fit_scan: stale scan (transaction changed)";
+    Mp_obs.Counter.incr c_latest_fit;
+    let t0 = Mp_obs.Timer.start () in
+    let r =
+      if procs > t.procs then None
+      else if sc.finish_by - dur < earliest then None
+      else if sc.smax.(0) < procs then None
+      else begin
+        Mp_obs.Counter.incr c_array_path;
+        (* Largest index with a segment clear for [procs]: [smax] is
+           non-increasing, and [smax.(i) >= procs > smax.(i + 1)] forces
+           [vs.(i) >= procs]. *)
+        let lo = ref 0 and hi = ref sc.hi in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if sc.smax.(mid) >= procs then lo := mid else hi := mid - 1
+        done;
+        let i = !lo in
+        let finish_limit = if i = sc.hi then sc.finish_by else t.ts.(i + 1) in
+        if finish_limit - dur < earliest then None
+        else
+          latest_fit_walk_from t.ts t.vs t.bmax t.bmin ~start_index:i ~finish_limit
+            ~earliest ~procs ~dur
+      end
+    in
+    Mp_obs.Timer.stop t_latest_fit t0;
+    r
+end
+
+(* Bulk construction: apply the reservations through one transaction
+   instead of one persistent version per reservation.  The fold order and
+   the raising behavior are those of folding [reserve] — [Txn.reserve]
+   raises [Overcommitted] on the same first infeasible reservation — and
+   the committed calendar's breakpoint map is identical entry for entry
+   (pinned by a qcheck property in test_platform.ml). *)
+let of_reservations ~procs rs =
+  let txn = Txn.start (create ~procs) in
+  List.iter (Txn.reserve txn) (List.sort Reservation.compare_by_start rs);
+  Txn.commit txn
 
 let busy_rectangles t ~from_ ~until =
   if from_ >= until then invalid_arg "Calendar.busy_rectangles: empty window";

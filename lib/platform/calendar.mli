@@ -75,6 +75,82 @@ val latest_fit : t -> earliest:int -> finish_by:int -> procs:int -> dur:int -> i
     time [s] with [s >= earliest] and [s + dur <= finish_by] such that
     [procs] processors are available over [\[s, s + dur)], or [None]. *)
 
+(** Mutable single-owner view for linear reserve-then-query passes.
+
+    The scheduling inner loops (backward deadline placement, CPA mapping,
+    list scheduling) thread each {!reserve} result straight into the next
+    query and never revisit an intermediate calendar version, so they pay
+    for persistence without using it.  A [Txn] copies the calendar's
+    segment arrays once at {!Txn.start} and then applies reservations in
+    place — a capacity scan, at most two array insertions, a range
+    decrement — instead of building a full successor version per task.
+
+    A [Txn] answers every query exactly as the persistent calendar
+    obtained by folding the same reservations with {!reserve} would
+    (pinned by a qcheck property in [test_platform.ml]); the source
+    calendar is never modified.  A [Txn] must stay confined to one domain:
+    it is freely mutated and carries none of the persistent structure's
+    sharing guarantees. *)
+module Txn : sig
+  type cal := t
+
+  type t
+  (** A private mutable copy of one calendar version plus any number of
+      in-place reservations. *)
+
+  val start : cal -> t
+  (** Fork a transaction off a calendar version.  O(R). *)
+
+  val procs : t -> int
+  (** Total processors of the cluster. *)
+
+  val available_at : t -> int -> int
+  (** Processors available at the given instant. *)
+
+  val can_reserve : t -> Reservation.t -> bool
+  (** Whether {!reserve} would succeed. *)
+
+  val reserve : t -> Reservation.t -> unit
+  (** Subtract the reservation from availability, in place.
+      @raise Overcommitted if availability would go negative. *)
+
+  val reserve_opt : t -> Reservation.t -> bool
+  (** Non-raising {!reserve}: [false] (and no change) when it would
+      overcommit. *)
+
+  val earliest_fit : ?limit:int -> t -> after:int -> procs:int -> dur:int -> int option
+  (** As {!earliest_fit} on the transaction's current state.  [limit]
+      (default unbounded) makes the query answer [None] as soon as every
+      remaining candidate start exceeds it: identical to running the
+      unbounded query and discarding a result above [limit], but without
+      walking the rest of the calendar.  For a caller that rejects starts
+      past [deadline - dur] anyway, passing that bound turns a doomed
+      full-calendar scan into an immediate [None]. *)
+
+  val latest_fit : t -> earliest:int -> finish_by:int -> procs:int -> dur:int -> int option
+  (** As {!latest_fit} on the transaction's current state. *)
+
+  type scan
+  (** Shared prefix of backward walks toward one [finish_by] on one
+      transaction state: a placement evaluating many candidate
+      ⟨procs, dur⟩ pairs builds it once and each query enters the walk at
+      the latest segment clear for its processor count (found by binary
+      search) instead of re-descending the blocked run below the deadline
+      segment by segment. *)
+
+  val latest_scan : t -> finish_by:int -> scan
+  (** Capture the transaction's current state for {!latest_fit_scan}
+      queries with this [finish_by].  O(R).  The scan is invalidated by
+      any subsequent {!reserve} on the transaction ({!latest_fit_scan}
+      raises [Invalid_argument] on a stale scan). *)
+
+  val latest_fit_scan : scan -> earliest:int -> procs:int -> dur:int -> int option
+  (** Exactly [latest_fit txn ~earliest ~finish_by ~procs ~dur] for the
+      scan's transaction and [finish_by], answered in O(log R) plus the
+      useful part of the walk (pinned against {!latest_fit} by a qcheck
+      property in [test_platform.ml]). *)
+end
+
 val segments : t -> from_:int -> until:int -> (int * int * int) list
 (** Step-function view over a window: [(start, finish, available)] triples
     covering [\[from_, until)] in increasing time order. *)

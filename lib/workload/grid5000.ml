@@ -51,19 +51,19 @@ let generate rng ?(cpus = default_cpus) ?(days = 60) ?(load = 0.30) () =
     if t >= float_of_int horizon then List.rev acc else arrivals (int_of_float t :: acc) t
   in
   let submits = arrivals [] 0. in
-  let _, jobs =
+  let cal = Calendar.Txn.start (Calendar.create ~procs:cpus) in
+  let jobs =
     List.fold_left
-      (fun (cal, acc) submit ->
+      (fun acc submit ->
         let run = draw_runtime rng in
         let procs = draw_procs rng cpus in
         let requested = submit + draw_wait rng in
-        match Calendar.earliest_fit cal ~after:requested ~procs ~dur:run with
-        | None -> (cal, acc)
+        match Calendar.Txn.earliest_fit cal ~after:requested ~procs ~dur:run with
+        | None -> acc
         | Some start ->
-            let r = Reservation.make ~start ~finish:(start + run) ~procs in
+            Calendar.Txn.reserve cal (Reservation.make ~start ~finish:(start + run) ~procs);
             let j = Job.make ~id:(List.length acc + 1) ~submit ~start ~run ~procs () in
-            (Calendar.reserve cal r, j :: acc))
-      (Calendar.create ~procs:cpus, [])
-      submits
+            j :: acc)
+      [] submits
   in
   { cpus; jobs = List.rev jobs }

@@ -86,14 +86,9 @@ let reshape rng method_ future =
    feasible schedule). *)
 let feasible_subset ~procs rs =
   let rs = List.sort Reservation.compare_by_start rs in
-  let _, kept =
-    List.fold_left
-      (fun (cal, kept) r ->
-        match Calendar.reserve_opt cal r with
-        | Some cal -> (cal, r :: kept)
-        | None -> (cal, kept))
-      (Calendar.create ~procs, [])
-      rs
+  let cal = Calendar.Txn.start (Calendar.create ~procs) in
+  let kept =
+    List.fold_left (fun kept r -> if Calendar.Txn.reserve_opt cal r then r :: kept else kept) [] rs
   in
   List.rev kept
 

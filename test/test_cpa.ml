@@ -344,6 +344,109 @@ let prop_cpa_respects_area_bound =
       float_of_int (Schedule.turnaround sched)
       >= float_of_int (Schedule.cpu_seconds sched) /. float_of_int p -. 1.)
 
+let prop_prefix_references_match_map_subset =
+  (* Mapping.prefix_references must agree with a fresh map_subset per
+     order-prefix: position k keeps exactly order.(0..k) and reads the
+     start of order.(k).  Also exercises the on-demand memo by querying
+     positions twice and out of order. *)
+  QCheck.Test.make ~name:"prefix_references == fresh map_subset per prefix" ~count:40
+    arb_seed_n
+    (fun (seed, n) ->
+      let d = random_dag ~n seed in
+      let p = 8 in
+      let allocs = Allocation.allocate ~p d in
+      let order = Mapping.bl_order d ~weights:(Allocation.weights d ~allocs) in
+      let refs = Mapping.prefix_references d ~allocs ~p ~order in
+      let expected k =
+        let keep = Array.make (Dag.n d) false in
+        for j = 0 to k do
+          keep.(order.(j)) <- true
+        done;
+        match Mapping.map_subset d ~allocs ~p ~keep with
+        | Some starts -> starts.(order.(k))
+        | None -> 0
+      in
+      let nb = Dag.n d in
+      let ok = ref true in
+      (* descending (the backward pass's access pattern) ... *)
+      for k = nb - 1 downto 0 do
+        if Mapping.reference_start refs k <> expected k then ok := false
+      done;
+      (* ... then re-read ascending: the memo must return the same values *)
+      for k = 0 to nb - 1 do
+        if Mapping.reference_start refs k <> expected k then ok := false
+      done;
+      !ok)
+
+(* Reference CPA allocation loop: identical decision rule, but [bl] /
+   [tl] are recomputed from scratch through the Analysis passes every
+   iteration.  Allocation.allocate maintains them with in-place
+   topological sweeps (and caches next-increment Amdahl times); the
+   comment there claims that is bitwise equivalent, and this property
+   pins it.  [min_gain] mirrors the constant in allocation.ml. *)
+let reference_allocate ~criterion ~p d =
+  let min_gain = 1e-4 in
+  let nb = Dag.n d in
+  let allocs = Array.make nb 1 in
+  let caps =
+    match criterion with
+    | Allocation.Classic -> Array.make nb p
+    | Allocation.Improved ->
+        let lev = Analysis.levels d in
+        let widths = Analysis.level_widths d in
+        Array.init nb (fun i -> max 1 ((p + widths.(lev.(i)) - 1) / widths.(lev.(i))))
+  in
+  let tasks = Dag.tasks d in
+  let w = Array.mapi (fun i tk -> Task.exec_time_f tk allocs.(i)) tasks in
+  let total_work = ref 0. in
+  Array.iteri (fun i wi -> total_work := !total_work +. (float_of_int allocs.(i) *. wi)) w;
+  let rec loop () =
+    let bl = Analysis.bottom_levels d ~weights:w in
+    let tl = Analysis.top_levels d ~weights:w in
+    let t_cp = bl.(Dag.entry d) in
+    let t_a = !total_work /. float_of_int p in
+    if t_cp <= t_a then ()
+    else begin
+      let eps = 1e-9 *. Float.max 1. t_cp in
+      let best = ref None in
+      for i = 0 to nb - 1 do
+        if Float.abs (tl.(i) +. bl.(i) -. t_cp) <= eps && allocs.(i) < caps.(i) then begin
+          let cur = w.(i) in
+          let nxt = Task.exec_time_f tasks.(i) (allocs.(i) + 1) in
+          let gain = (cur -. nxt) /. cur in
+          let good =
+            match criterion with
+            | Allocation.Classic -> gain > 0.
+            | Allocation.Improved -> gain > min_gain
+          in
+          if good then
+            match !best with Some (_, g) when g >= gain -> () | _ -> best := Some (i, gain)
+        end
+      done;
+      match !best with
+      | None -> ()
+      | Some (i, _) ->
+          total_work := !total_work -. (float_of_int allocs.(i) *. w.(i));
+          allocs.(i) <- allocs.(i) + 1;
+          w.(i) <- Task.exec_time_f tasks.(i) allocs.(i);
+          total_work := !total_work +. (float_of_int allocs.(i) *. w.(i));
+          loop ()
+    end
+  in
+  loop ();
+  allocs
+
+let prop_allocate_matches_reference =
+  QCheck.Test.make ~name:"allocate == from-scratch reference (both criteria)" ~count:40
+    arb_seed_n
+    (fun (seed, n) ->
+      let d = random_dag ~n seed in
+      let p = 8 in
+      List.for_all
+        (fun criterion ->
+          Allocation.allocate ~criterion ~p d = reference_allocate ~criterion ~p d)
+        [ Allocation.Classic; Allocation.Improved ])
+
 let prop_more_procs_no_worse =
   QCheck.Test.make ~name:"cpa makespan non-increasing in p (statistically)" ~count:30
     QCheck.small_int
@@ -356,7 +459,14 @@ let prop_more_procs_no_worse =
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_mapping_valid; prop_mapping_uses_allocs; prop_cpa_respects_area_bound; prop_more_procs_no_worse ]
+      [
+        prop_mapping_valid;
+        prop_mapping_uses_allocs;
+        prop_prefix_references_match_map_subset;
+        prop_allocate_matches_reference;
+        prop_cpa_respects_area_bound;
+        prop_more_procs_no_worse;
+      ]
   in
   Alcotest.run "cpa"
     [

@@ -296,6 +296,20 @@ let test_alloc_candidates () =
   Alcotest.check_raises "max_np < 1" (Invalid_argument "Task.alloc_candidates: max_np < 1")
     (fun () -> ignore (Task.alloc_candidates t ~max_np:0))
 
+let test_candidates_table () =
+  (* The cached table must be exactly the alloc_candidates scan plus the
+     matching rounded durations. *)
+  let t = Task.make ~id:0 ~seq:1000. ~alpha:0.1 in
+  let c = Task.candidates t ~max_np:32 in
+  Alcotest.(check int) "bound recorded" 32 c.Task.bound;
+  Alcotest.(check (list int)) "same counts" (Task.alloc_candidates t ~max_np:32)
+    (Array.to_list c.Task.nps);
+  Alcotest.(check (list int)) "durations match exec_time"
+    (List.map (Task.exec_time t) (Array.to_list c.Task.nps))
+    (Array.to_list c.Task.durs);
+  Alcotest.check_raises "max_np < 1" (Invalid_argument "Task.candidates: max_np < 1") (fun () ->
+      ignore (Task.candidates t ~max_np:0))
+
 (* ------------------------------------------------------------------ *)
 (* Classic workflows *)
 
@@ -359,6 +373,17 @@ let test_workflow_invalid_args () =
   Alcotest.check_raises "fft m>8" (Invalid_argument "Workflows.fft: m outside [1, 8]") (fun () ->
       ignore (Workflows.fft (Rng.create 1) ~m:9 ()))
 
+let prop_candidates_match_alloc_candidates =
+  QCheck.Test.make ~name:"cached candidate tables == direct alloc_candidates" ~count:200
+    QCheck.(triple (1 -- 128) (60 -- 36_000) (0 -- 100))
+    (fun (max_np, seq_s, alpha_pct) ->
+      let t = Task.make ~id:0 ~seq:(float_of_int seq_s) ~alpha:(float_of_int alpha_pct /. 100.) in
+      let c = Task.candidates t ~max_np in
+      c.Task.bound = max_np
+      && Array.to_list c.Task.nps = Task.alloc_candidates t ~max_np
+      && Array.to_list c.Task.durs
+         = List.map (Task.exec_time t) (Array.to_list c.Task.nps))
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -370,6 +395,7 @@ let () =
         prop_gen_deterministic;
         prop_bottom_level_matches_brute_force;
         prop_width_chains_vs_forks;
+        prop_candidates_match_alloc_candidates;
       ]
   in
   Alcotest.run "dag"
@@ -406,6 +432,7 @@ let () =
           Alcotest.test_case "total work" `Quick test_total_work;
           Alcotest.test_case "invalid args" `Quick test_analysis_invalid_args;
           Alcotest.test_case "alloc candidates" `Quick test_alloc_candidates;
+          Alcotest.test_case "candidates table" `Quick test_candidates_table;
         ] );
       ("generator", props);
       ( "workflows",

@@ -443,6 +443,112 @@ let prop_release_inverts_reserve =
           done;
           !ok)
 
+(* Reserving on a calendar whose arrays are already materialized patches
+   the parent's arrays instead of re-materializing from the map; the
+   child must answer exactly like a cold calendar built from the same
+   reservations. *)
+let prop_patched_arrays_match_cold_calendar =
+  QCheck.Test.make ~name:"patched arrays equal the map-built calendar" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair (gen_reservations 5) (triple (0 -- 40) (1 -- 8) (1 -- 5))))
+    (fun (rs, (s, d, np)) ->
+      let cal = Calendar.of_reservations ~procs:5 rs in
+      (* Warm past the force threshold so the arrays exist and reserve
+         takes the patching path. *)
+      let (_ : int) = stable_query cal (fun cal -> Calendar.available_at cal 0) in
+      let r = Reservation.make ~start:s ~finish:(s + d) ~procs:np in
+      match Calendar.reserve_opt cal r with
+      | None -> true
+      | Some patched ->
+          let cold = Calendar.of_reservations ~procs:5 (rs @ [ r ]) in
+          let ok = ref true in
+          for t = -2 to 60 do
+            if Calendar.available_at patched t <> Calendar.available_at cold t then ok := false
+          done;
+          for after = 0 to 20 do
+            let q cal = Calendar.earliest_fit cal ~after ~procs:np ~dur:(max 1 d) in
+            if stable_query patched q <> q cold then ok := false;
+            let q cal =
+              Calendar.latest_fit cal ~earliest:0 ~finish_by:(after + 25) ~procs:np
+                ~dur:(max 1 d)
+            in
+            if stable_query patched q <> q cold then ok := false
+          done;
+          !ok)
+
+(* A Txn must answer every query exactly as the persistent calendar
+   obtained by folding the same reservations with [reserve] would.  The
+   op list is long enough (and interleaves queries between reserves) to
+   exercise the transaction's incremental block-extrema maintenance,
+   including the periodic exact refresh and the conservative
+   bound-merging on the shifted tail. *)
+let prop_txn_matches_persistent_fold =
+  QCheck.Test.make ~name:"txn reserve/query sequence matches persistent fold" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair (gen_reservations 5)
+           (list_size (1 -- 24) (quad (0 -- 40) (1 -- 10) (1 -- 6) (0 -- 45)))))
+    (fun (rs, ops) ->
+      let base = Calendar.of_reservations ~procs:5 rs in
+      let txn = Calendar.Txn.start base in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let cal = ref base in
+      List.iter
+        (fun (s, d, np, after) ->
+          let dur = max 1 (d / 2) in
+          check (Calendar.Txn.available_at txn after = Calendar.available_at !cal after);
+          check
+            (Calendar.Txn.earliest_fit txn ~after ~procs:np ~dur
+            = Calendar.earliest_fit !cal ~after ~procs:np ~dur);
+          (* a [limit] only filters: same answer as the unbounded query when
+             that answer is within the limit, [None] otherwise *)
+          let limit = after + 10 in
+          let unbounded = Calendar.earliest_fit !cal ~after ~procs:np ~dur in
+          let want = match unbounded with Some s when s <= limit -> Some s | _ -> None in
+          check (Calendar.Txn.earliest_fit ~limit txn ~after ~procs:np ~dur = want);
+          check
+            (Calendar.Txn.latest_fit txn ~earliest:0 ~finish_by:(after + 20) ~procs:np ~dur
+            = Calendar.latest_fit !cal ~earliest:0 ~finish_by:(after + 20) ~procs:np ~dur);
+          let r = Reservation.make ~start:s ~finish:(s + d) ~procs:np in
+          check (Calendar.Txn.can_reserve txn r = Calendar.can_reserve !cal r);
+          let applied = Calendar.Txn.reserve_opt txn r in
+          (match Calendar.reserve_opt !cal r with
+          | Some cal' ->
+              check applied;
+              cal := cal'
+          | None -> check (not applied)))
+        ops;
+      !ok)
+
+(* latest_fit_scan enters the backward walk below the blocked run via a
+   binary search over a suffix-max table; it must agree with the plain
+   stepwise [Txn.latest_fit] everywhere, and go stale on reserve. *)
+let prop_latest_fit_scan_matches_latest_fit =
+  QCheck.Test.make ~name:"latest_fit_scan matches latest_fit" ~count:200
+    (QCheck.make QCheck.Gen.(pair (gen_reservations 5) (20 -- 60)))
+    (fun (rs, finish_by) ->
+      let txn = Calendar.Txn.start (Calendar.of_reservations ~procs:5 rs) in
+      let scan = Calendar.Txn.latest_scan txn ~finish_by in
+      let ok = ref true in
+      for earliest = 0 to 12 do
+        for np = 1 to 5 do
+          for dur = 1 to 8 do
+            let got = Calendar.Txn.latest_fit_scan scan ~earliest ~procs:np ~dur in
+            let want = Calendar.Txn.latest_fit txn ~earliest ~finish_by ~procs:np ~dur in
+            if got <> want then ok := false
+          done
+        done
+      done;
+      (* any reserve invalidates the scan (far-future slot: always free) *)
+      Calendar.Txn.reserve txn (Reservation.make ~start:1000 ~finish:1001 ~procs:1);
+      let stale =
+        match Calendar.Txn.latest_fit_scan scan ~earliest:0 ~procs:1 ~dur:1 with
+        | exception Invalid_argument _ -> true
+        | _ -> false
+      in
+      !ok && stale)
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -455,6 +561,9 @@ let () =
         prop_fit_result_actually_fits;
         prop_latest_fit_result_within_bounds;
         prop_reserve_decreases_availability;
+        prop_patched_arrays_match_cold_calendar;
+        prop_txn_matches_persistent_fold;
+        prop_latest_fit_scan_matches_latest_fit;
       ]
   in
   Alcotest.run "platform"
