@@ -41,6 +41,35 @@ let write_summary path ~baseline_path ~ok (base : Baseline.run) (cur : Baseline.
           Buffer.add_string buf (Printf.sprintf "| %s | %.2f | missing | - |\n" b.name b.wall_s))
     base.sections;
   row "**total**" base.total_s cur.total_s;
+  (* Section metrics (throughput, latency percentiles) are machine-speed
+     dependent: shown side by side, never part of the gate. *)
+  let metric_rows =
+    List.concat_map
+      (fun (b : Baseline.section) ->
+        List.map
+          (fun (k, bv) ->
+            let cv =
+              match
+                List.find_opt (fun (c : Baseline.section) -> c.name = b.name) cur.sections
+              with
+              | Some c -> List.assoc_opt k c.metrics
+              | None -> None
+            in
+            (b.name, k, bv, cv))
+          b.metrics)
+      base.sections
+  in
+  if metric_rows <> [] then begin
+    Buffer.add_string buf "\n#### Section metrics (informational, not gated)\n\n";
+    Buffer.add_string buf "| Section | Metric | Baseline | Current |\n";
+    Buffer.add_string buf "|---|---|---:|---:|\n";
+    List.iter
+      (fun (name, k, bv, cv) ->
+        Buffer.add_string buf
+          (Printf.sprintf "| %s | %s | %.3f | %s |\n" name k bv
+             (match cv with Some v -> Printf.sprintf "%.3f" v | None -> "missing")))
+      metric_rows
+  end;
   Buffer.add_string buf
     (if ok then "\nNo perf regression.\n"
      else "\n**REGRESSION** - see the compare step's FAIL lines.\n");

@@ -233,6 +233,13 @@ let core_sections : Mp_forensics.Baseline.section list ref = ref []
    partial, so never feed it to bench/compare.exe as a baseline. *)
 let section_filter = Sys.getenv_opt "MPRES_BENCH_ONLY"
 
+(* Machine-speed-dependent numbers a section wants in BENCH_core.json
+   (throughput, latency percentiles): reported side by side by
+   bench/compare.exe, never gated — deterministic quantities belong in
+   the counters instead. *)
+let pending_metrics : (string * float) list ref = ref []
+let set_metrics kvs = pending_metrics := kvs
+
 let contains_substring s sub =
   let n = String.length s and m = String.length sub in
   let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
@@ -244,6 +251,7 @@ let section ?(counters = true) title f =
       Printf.printf "\n=== %s === (skipped: MPRES_BENCH_ONLY=%s)\n%!" title sub
   | _ ->
   Printf.printf "\n=== %s ===\n\n%!" title;
+  pending_metrics := [];
   let before =
     if trace_path = None then None else Some (Mp_obs.Snapshot.take ())
   in
@@ -271,7 +279,77 @@ let section ?(counters = true) title f =
             delta.Mp_obs.Snapshot.counters
   in
   core_sections :=
-    { Mp_forensics.Baseline.name = title; wall_s; counters = counter_deltas } :: !core_sections
+    { Mp_forensics.Baseline.name = title; wall_s; counters = counter_deltas; metrics = !pending_metrics }
+    :: !core_sections
+
+(* ------------------------------------------------------------------ *)
+(* Service soak: the scheduling service under a seeded sustained load of
+   typed requests (see "Scheduling service" in DESIGN.md).  The stream and
+   every response are deterministic for a given scale — the response-kind
+   counts ride into the baseline as [service.*] counters when traced —
+   while throughput and latency percentiles are machine-speed dependent
+   and go into the section's [metrics] (reported, never gated). *)
+
+let service_n =
+  match scale_name with
+  | "tiny" -> 2_000
+  | "standard" -> 20_000
+  | "paper" -> 50_000
+  | _ (* quick *) -> 10_000
+
+(* Nearest-rank percentile of the per-request wall-clock samples. *)
+let percentile_ns p a =
+  let n = Array.length a in
+  if n = 0 then 0 else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let bench_service ~pool () =
+  let sites = 4 and procs = 64 and queue_limit = 32 and budget = 60 in
+  let rng = Mp_prelude.Rng.create (scale.Experiments.seed + 0x5e7e) in
+  let envelopes =
+    Mp_service.Stream.generate rng ~budget
+      ~algos:[ "BD_CPAR"; "DL_RCBD_CPAR-l" ]
+      ~sites ~procs ~n:service_n ()
+  in
+  let specs =
+    Array.init sites (fun _ ->
+        { Mp_service.Engine.calendar = Mp_platform.Calendar.create ~procs; q = procs })
+  in
+  let engine = Mp_core.Serve.engine ~sites:specs () in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Mp_service.Engine.run ~pool ~queue_limit ~measure:true engine envelopes in
+  let wall = Unix.gettimeofday () -. t0 in
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Mp_service.Engine.outcome) ->
+      let k = Mp_service.Response.kind o.response in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    outcomes;
+  let count k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  let samples =
+    Array.of_list (List.map (fun (o : Mp_service.Engine.outcome) -> o.wall_ns) outcomes)
+  in
+  Array.sort compare samples;
+  let p50 = percentile_ns 0.50 samples and p99 = percentile_ns 0.99 samples in
+  let rps = if wall > 0. then float_of_int (List.length outcomes) /. wall else 0. in
+  Printf.printf "service soak: %d requests over %d sites (queue-limit %d, budget %d s)\n"
+    service_n sites queue_limit budget;
+  Printf.printf "  %s\n"
+    (String.concat "  "
+       (List.map
+          (fun k -> Printf.sprintf "%s %d" k (count k))
+          [
+            "granted"; "rejected"; "available"; "scheduled"; "infeasible"; "cancelled";
+            "explained"; "overloaded"; "error";
+          ]));
+  Printf.printf "  %.0f requests/s; per-request latency p50 %.1f us, p99 %.1f us\n" rps
+    (float_of_int p50 /. 1e3)
+    (float_of_int p99 /. 1e3);
+  set_metrics
+    [
+      ("requests_per_s", rps);
+      ("latency_p50_us", float_of_int p50 /. 1e3);
+      ("latency_p99_us", float_of_int p99 /. 1e3);
+    ]
 
 let write_core_json total_s =
   let run =
@@ -364,7 +442,8 @@ let () =
       section "Ablation: CPU-hours vs deadline looseness" (fun () ->
           Experiments.print_pareto_ablation ~pool scale);
       section "Ablation: pessimistic estimates" (fun () ->
-          Experiments.print_estimate_ablation ~pool scale));
+          Experiments.print_estimate_ablation ~pool scale);
+      section "Service" (fun () -> bench_service ~pool ()));
   Option.iter write_obs_artifacts trace_path;
   let total_s = Unix.gettimeofday () -. total0 in
   write_core_json total_s;

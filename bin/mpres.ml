@@ -8,7 +8,13 @@
      deadline    solve RESSCHEDDL (fixed deadline or tightest-deadline search)
      explain     solve an instance with the decision journal on and render
                  the forensics report (text, JSONL, SVG, or HTML)
-     experiment  regenerate the paper's tables *)
+     serve       run the scheduling service over a seeded (or replayed)
+                 request stream and report throughput/latency
+     experiment  regenerate the paper's tables
+
+   The one-shot schedule/deadline/explain paths and the serve daemon all
+   speak the same typed protocol (Mp_service.Request/Response) against
+   the same engine (Mp_core.Serve wires the algorithm registry in). *)
 
 open Cmdliner
 module Rng = Mp_prelude.Rng
@@ -28,6 +34,21 @@ module Workflows = Mp_dag.Workflows
 module Experiments = Mp_sim.Experiments
 module Instance = Mp_sim.Instance
 module Scenario = Mp_sim.Scenario
+module Engine = Mp_service.Engine
+module Request = Mp_service.Request
+module Response = Mp_service.Response
+module Stream = Mp_service.Stream
+module Serve = Mp_core.Serve
+
+(* One-shot service over the instance's calendar: the schedule, deadline
+   and explain subcommands all submit through this engine, so the CLI and
+   the serve daemon exercise the same code path. *)
+let one_shot_engine (inst : Instance.t) =
+  Serve.engine ~sites:[| { Engine.calendar = inst.env.calendar; q = inst.env.q } |] ()
+
+let submit_one inst ~algo ~deadline =
+  Engine.handle (one_shot_engine inst) ~site:0
+    (Request.Submit_dag { dag = inst.Instance.dag; algo; deadline })
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
@@ -264,15 +285,18 @@ let schedule seed params log phi method_ shape dag_file swf_file algo_name gantt
         "%S is a deadline (RESSCHEDDL) algorithm; use 'mpres deadline --algo %s'.@." algo_name
         algo_name;
       exit 1
-  | Some (`Ressched algo) ->
+  | Some (`Ressched algo) -> (
       let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
-      let sched = algo.run inst.env inst.dag in
-      (match Schedule.validate inst.dag ~base:inst.env.calendar sched with
-      | Ok () -> ()
-      | Error msg ->
-          Format.eprintf "internal error: invalid schedule: %s@." msg;
-          exit 2);
-      print_schedule ~gantt ?svg_file ~json inst sched
+      match submit_one inst ~algo:algo.name ~deadline:Request.No_deadline with
+      | Response.Scheduled { schedule = sched; _ } ->
+          (match Schedule.validate inst.dag ~base:inst.env.calendar sched with
+          | Ok () -> ()
+          | Error msg ->
+              Format.eprintf "internal error: invalid schedule: %s@." msg;
+              exit 2);
+          print_schedule ~gantt ?svg_file ~json inst sched
+      | Response.Error msg -> die "%s" msg
+      | resp -> die "unexpected service response %S" (Response.kind resp))
 
 let algo_t =
   Arg.(
@@ -310,21 +334,21 @@ let deadline seed params log phi method_ shape dag_file swf_file algo_name deadl
       exit 1
   | Some (`Deadline algo) -> (
       let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
-      match deadline_s with
-      | Some k -> (
-          match algo.run inst.env inst.dag ~deadline:k with
-          | Some sched ->
-              Format.printf "deadline %d met.@." k;
-              print_schedule ~gantt ?svg_file inst sched
-          | None ->
-              Format.printf "deadline %d cannot be met by %s.@." k algo_name;
-              exit 3)
-      | None -> (
-          match Deadline.tightest (algo.prepare inst.env inst.dag) inst.env inst.dag with
-          | Some (k, sched) ->
-              Format.printf "tightest deadline: %d s (%.2f h)@." k (float_of_int k /. 3600.);
-              print_schedule ~gantt ?svg_file inst sched
-          | None -> Format.printf "no feasible deadline found.@."))
+      let spec = match deadline_s with Some k -> Request.By k | None -> Request.Tightest in
+      match submit_one inst ~algo:algo.name ~deadline:spec with
+      | Response.Scheduled { schedule = sched; deadline } ->
+          (match (deadline_s, deadline) with
+          | Some k, _ -> Format.printf "deadline %d met.@." k
+          | None, Some k ->
+              Format.printf "tightest deadline: %d s (%.2f h)@." k (float_of_int k /. 3600.)
+          | None, None -> ());
+          print_schedule ~gantt ?svg_file inst sched
+      | Response.Infeasible { deadline = Some k; _ } ->
+          Format.printf "deadline %d cannot be met by %s.@." k algo_name;
+          exit 3
+      | Response.Infeasible { deadline = None; _ } -> Format.printf "no feasible deadline found.@."
+      | Response.Error msg -> die "%s" msg
+      | resp -> die "unexpected service response %S" (Response.kind resp))
 
 let deadline_cmd =
   let dl =
@@ -350,75 +374,24 @@ let deadline_cmd =
 (* explain *)
 
 (* Solve the instance with the decision journal on, then render the
-   forensics report.  The journal is record-only: the schedule is
-   bit-identical to what 'mpres schedule'/'mpres deadline' emit
-   (pinned by test_forensics.ml). *)
+   forensics report.  The whole run — deadline resolution, journaled
+   scheduling, rendering — lives in Mp_core.Serve.explain; the journal is
+   record-only: the schedule is bit-identical to what
+   'mpres schedule'/'mpres deadline' emit (pinned by test_forensics.ml). *)
 let explain seed params log phi method_ shape dag_file swf_file algo_name deadline_s format out
     trace =
   with_trace trace @@ fun () ->
+  if Algo.find algo_name = None then unknown_algo algo_name;
   let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
-  (* For deadline algorithms, resolve the deadline first (tightest search
-     probes many deadlines — journaling only the final run keeps the
-     story readable). *)
-  let run, header =
-    match Algo.find algo_name with
-    | None -> unknown_algo algo_name
-    | Some (`Ressched algo) ->
-        ((fun () -> algo.run inst.env inst.dag), Printf.sprintf "algorithm %s" algo.name)
-    | Some (`Deadline algo) -> (
-        let k =
-          match deadline_s with
-          | Some k -> k
-          | None -> (
-              match Deadline.tightest (algo.prepare inst.env inst.dag) inst.env inst.dag with
-              | Some (k, _) -> k
-              | None -> die "no feasible deadline found for %s" algo_name)
-        in
-        ( (fun () ->
-            match algo.run inst.env inst.dag ~deadline:k with
-            | Some sched -> sched
-            | None -> die "deadline %d cannot be met by %s" k algo_name),
-          Printf.sprintf "algorithm %s, deadline %d s%s" algo.name k
-            (if deadline_s = None then " (tightest)" else "") ))
-  in
-  Journal.reset ();
-  let sched = Journal.with_enabled run in
-  let entries = Journal.take () in
-  let turnaround = Schedule.turnaround sched in
-  let until = max 1 turnaround in
-  let final_cal =
-    List.fold_left Mp_platform.Calendar.reserve inst.env.calendar (Schedule.reservations sched)
-  in
-  let analytics = Analytics.analyze final_cal ~from_:0 ~until in
-  let slots =
-    Array.to_list
-      (Array.mapi
-         (fun i (s : Schedule.slot) ->
-           { Render.label = string_of_int i; start = s.start; finish = s.finish; procs = s.procs })
-         sched.Schedule.slots)
-  in
-  let text_report () =
-    let buf = Buffer.create 4096 in
-    Buffer.add_string buf
-      (Printf.sprintf "%s on %d tasks, p=%d q=%d; turnaround %d s\n\n" header
-         (Mp_dag.Dag.n inst.dag) inst.env.p inst.env.q turnaround);
-    Buffer.add_string buf (Journal.story entries);
-    Buffer.add_string buf (Format.asprintf "@.%a@." Analytics.pp analytics);
-    Buffer.contents buf
-  in
+  let format = match format with `Text -> "text" | `Json -> "json" | `Svg -> "svg" | `Html -> "html" in
   let output =
-    match format with
-    | `Text -> text_report ()
-    | `Json ->
-        Journal.to_jsonl entries
-        ^ Printf.sprintf "{\"event\":\"analytics\",\"data\":%s}\n" (Analytics.to_json analytics)
-    | `Svg -> Render.gantt_svg ~base:inst.env.calendar ~slots ()
-    | `Html ->
-        Render.html ~title:header
-          ~gantt:(Render.gantt_svg ~base:inst.env.calendar ~slots ())
-          ~profile:(Render.profile_svg inst.env.calendar ~from_:0 ~until)
-          ~analytics:(Format.asprintf "%a" Analytics.pp analytics)
-          ~story:(Journal.story entries)
+    match
+      Engine.handle (one_shot_engine inst) ~site:0
+        (Request.Explain { dag = inst.dag; algo = algo_name; deadline = deadline_s; format })
+    with
+    | Response.Explained report -> report
+    | Response.Error msg -> die "%s" msg
+    | resp -> die "unexpected service response %S" (Response.kind resp)
   in
   match out with
   | None -> print_string output
@@ -472,6 +445,186 @@ let explain_cmd =
       $ swf_file_t $ algo $ dl $ format $ out $ trace_t)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Mp_prelude.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "MPRES_JOBS")
+        ~doc:
+          "Worker domains for the fan-out (default: cores - 1; 1 = sequential). Results are \
+           bit-identical whatever the value.")
+
+(* Nearest-rank percentile of an unsorted sample, deterministic. *)
+let percentile_ns samples p =
+  match samples with
+  | [] -> 0
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let serve seed n sites procs queue_limit budget algos jobs dump replay json trace =
+  if n < 0 then die "-n must be nonnegative";
+  if sites < 1 then die "--sites must be at least 1";
+  if procs < 1 then die "--procs must be at least 1";
+  if jobs < 1 then die "--jobs must be at least 1";
+  let algos = String.split_on_char ',' algos |> List.map String.trim |> List.filter (( <> ) "") in
+  List.iter (fun a -> if Algo.find a = None then unknown_algo a) algos;
+  if algos = [] then die "--algos must name at least one algorithm";
+  with_trace trace @@ fun () ->
+  let envelopes =
+    match replay with
+    | Some path ->
+        let parse i line =
+          if String.trim line = "" then None
+          else
+            match Request.envelope_of_string line with
+            | Ok e -> Some e
+            | Error msg -> die "%s:%d: %s" path (i + 1) msg
+        in
+        let lines = try In_channel.with_open_text path In_channel.input_lines with Sys_error msg -> die "%s" msg in
+        List.filter_map Fun.id (List.mapi parse lines)
+    | None ->
+        let rng = Rng.create seed in
+        Stream.generate rng ?budget ~algos ~sites ~procs ~n ()
+  in
+  (match dump with
+  | None -> ()
+  | Some path -> (
+      match
+        Out_channel.with_open_text path (fun oc ->
+            List.iter
+              (fun e ->
+                Out_channel.output_string oc (Request.envelope_to_string e);
+                Out_channel.output_char oc '\n')
+              envelopes)
+      with
+      | () -> Format.eprintf "request stream dumped to %s@." path
+      | exception Sys_error msg -> die "%s" msg));
+  let site_specs =
+    Array.init sites (fun _ ->
+        { Engine.calendar = Mp_platform.Calendar.create ~procs; q = procs })
+  in
+  let engine = Serve.engine ~sites:site_specs () in
+  let run () =
+    let t0 = Mp_obs.now_ns () in
+    let outcomes =
+      if jobs = 1 then Engine.run ?queue_limit ~measure:true engine envelopes
+      else
+        Mp_prelude.Pool.with_pool ~jobs (fun pool ->
+            Engine.run ~pool ?queue_limit ~measure:true engine envelopes)
+    in
+    (outcomes, Mp_obs.now_ns () - t0)
+  in
+  let outcomes, wall_ns = run () in
+  let n_out = List.length outcomes in
+  let kinds = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Engine.outcome) ->
+      let k = Response.kind o.response in
+      Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k)))
+    outcomes;
+  let kind_counts =
+    List.filter_map
+      (fun k -> Option.map (fun c -> (k, c)) (Hashtbl.find_opt kinds k))
+      [ "granted"; "rejected"; "available"; "scheduled"; "infeasible"; "cancelled"; "explained";
+        "overloaded"; "error" ]
+  in
+  let latencies = List.map (fun (o : Engine.outcome) -> o.wall_ns) outcomes in
+  let p50 = percentile_ns latencies 0.50 and p99 = percentile_ns latencies 0.99 in
+  let wall_s = float_of_int wall_ns /. 1e9 in
+  let rps = if wall_s > 0. then float_of_int n_out /. wall_s else 0. in
+  if json then begin
+    let open Mp_prelude.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("requests", Num (float_of_int n_out));
+              ("sites", Num (float_of_int sites));
+              ("jobs", Num (float_of_int jobs));
+              ("wall_s", Num wall_s);
+              ("requests_per_s", Num rps);
+              ("latency_p50_ns", Num (float_of_int p50));
+              ("latency_p99_ns", Num (float_of_int p99));
+              ( "responses",
+                Obj (List.map (fun (k, c) -> (k, Num (float_of_int c))) kind_counts) );
+            ]))
+  end
+  else begin
+    Format.printf "serve: %d request(s) over %d site(s), %d proc(s) each, jobs=%d@." n_out sites
+      procs jobs;
+    Format.printf "  %s@."
+      (String.concat "  " (List.map (fun (k, c) -> Printf.sprintf "%s %d" k c) kind_counts));
+    Format.printf "  wall %.3f s, %.0f requests/s@." wall_s rps;
+    Format.printf "  placement latency p50 %.1f us, p99 %.1f us@."
+      (float_of_int p50 /. 1e3) (float_of_int p99 /. 1e3)
+  end
+
+let serve_cmd =
+  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Number of requests to serve.") in
+  let sites = Arg.(value & opt int 1 & info [ "sites" ] ~doc:"Number of independent sites.") in
+  let procs = Arg.(value & opt int 64 & info [ "procs" ] ~doc:"Processors per site.") in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-limit" ] ~docv:"K"
+          ~doc:
+            "Admission control: shed a request as overloaded when $(docv) admitted requests are \
+             still queued or in service at its site (default: unbounded).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Give half of the generated requests (drawn deterministically) a queue-delay budget \
+             of $(docv) simulated seconds; requests over budget are shed as overloaded.")
+  in
+  let algos =
+    Arg.(
+      value
+      & opt string "BD_CPAR,DL_RCBD_CPAR-l"
+      & info [ "algos" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated algorithms for generated submit/explain requests. Known \
+                algorithms: %s."
+               algo_listing))
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE" ~doc:"Write the request stream as JSONL envelopes to $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Serve the JSONL envelope stream in $(docv) (as written by --dump) instead of \
+             generating one; decisions replay bit-identically for any --jobs.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as one JSON object.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling service over a seeded or replayed request stream (reserve, probe, \
+          cancel, submit-dag, explain) and report per-kind outcomes, throughput, and placement \
+          latency")
+    Term.(
+      const serve $ seed_t $ n $ sites $ procs $ queue_limit $ budget $ algos $ jobs_t $ dump
+      $ replay $ json $ trace_t)
+
+(* ------------------------------------------------------------------ *)
 (* experiment *)
 
 let experiment scale_name table jobs trace =
@@ -512,16 +665,6 @@ let experiment scale_name table jobs trace =
             other;
           exit 1)
 
-let jobs_t =
-  Arg.(
-    value
-    & opt int (Mp_prelude.Pool.default_jobs ())
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~env:(Cmd.Env.info "MPRES_JOBS")
-        ~doc:
-          "Worker domains for the experiment fan-out (default: cores - 1; 1 = sequential). \
-           Results are bit-identical whatever the value.")
-
 let experiment_cmd =
   let scale =
     Arg.(value & opt string "quick" & info [ "scale" ] ~doc:"Scale: tiny, quick, standard, paper.")
@@ -554,6 +697,7 @@ let subcommand_summaries =
     ("schedule", "solve RESSCHED on a random instance (--algo, --gantt, --svg, --trace out.json)");
     ("deadline", "solve RESSCHEDDL, fixed or tightest deadline (--algo, --deadline, --trace out.json)");
     ("explain", "decision journal + calendar analytics for one run (--format text|json|svg|html)");
+    ("serve", "run the scheduling service over a seeded request stream (-n, --sites, --queue-limit, --dump/--replay)");
     ("experiment", "regenerate the paper's tables (--scale, --jobs, --trace out.json)");
   ]
 
@@ -590,4 +734,4 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info
-          [ gen_dag_cmd; gen_log_cmd; schedule_cmd; deadline_cmd; explain_cmd; experiment_cmd ]))
+          [ gen_dag_cmd; gen_log_cmd; schedule_cmd; deadline_cmd; explain_cmd; serve_cmd; experiment_cmd ]))

@@ -1,6 +1,7 @@
 module Dag = Mp_dag.Dag
 module Task = Mp_dag.Task
-module Probe = Mp_platform.Probe
+module Probe = Mp_service.Probe
+module Response = Mp_service.Response
 module Calendar = Mp_platform.Calendar
 module Reservation = Mp_platform.Reservation
 module Schedule = Mp_cpa.Schedule
@@ -13,15 +14,16 @@ module Mapping = Mp_cpa.Mapping
 let survey probe task ~ready np =
   let dur = Task.exec_time task np in
   match Probe.request probe ~start:ready ~dur ~procs:np with
-  | Probe.Granted -> (Some (Reservation.make ~start:ready ~finish:(ready + dur) ~procs:np), 1)
-  | Probe.Rejected None -> (None, 1)
-  | Probe.Rejected (Some s) -> (
+  | Response.Granted -> (Some (Reservation.make ~start:ready ~finish:(ready + dur) ~procs:np), 1)
+  | Response.Rejected None -> (None, 1)
+  | Response.Rejected (Some s) -> (
       match Probe.request probe ~start:s ~dur ~procs:np with
-      | Probe.Granted -> (Some (Reservation.make ~start:s ~finish:(s + dur) ~procs:np), 2)
-      | Probe.Rejected _ ->
+      | Response.Granted -> (Some (Reservation.make ~start:s ~finish:(s + dur) ~procs:np), 2)
+      | _ ->
           (* cannot happen in a static system: the suggestion was just
              computed as feasible; kept total for robustness *)
           (None, 2))
+  | _ -> (* [request] only answers Granted/Rejected *) (None, 1)
 
 let place probe task ~ready ~(cands : Task.candidates) ~budget =
   (* Candidates largest-first: bigger allocations have shorter durations
@@ -63,8 +65,8 @@ let place probe task ~ready ~(cands : Task.candidates) ~budget =
   match go None 0 candidates with
   | Some r -> (
       match Probe.request probe ~start:r.Reservation.start ~dur:(Reservation.duration r) ~procs:r.Reservation.procs with
-      | Probe.Granted -> r
-      | Probe.Rejected _ -> assert false (* static system: the trial was grantable *))
+      | Response.Granted -> r
+      | _ -> assert false (* static system: the trial was grantable *))
   | None ->
       (* No candidate was placeable within the budget's surveys — chase the
          1-processor suggestion chain until granted (always terminates:
@@ -72,9 +74,9 @@ let place probe task ~ready ~(cands : Task.candidates) ~budget =
       let dur = Task.exec_time task 1 in
       let rec chase start =
         match Probe.request probe ~start ~dur ~procs:1 with
-        | Probe.Granted -> Reservation.make ~start ~finish:(start + dur) ~procs:1
-        | Probe.Rejected (Some s) -> chase s
-        | Probe.Rejected None -> invalid_arg "Blind.schedule: cluster has no processors"
+        | Response.Granted -> Reservation.make ~start ~finish:(start + dur) ~procs:1
+        | Response.Rejected (Some s) -> chase s
+        | _ -> invalid_arg "Blind.schedule: cluster has no processors"
       in
       chase ready
 

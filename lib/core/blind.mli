@@ -2,7 +2,8 @@
     sketches in Sections 3.2.2 and 7: the application scheduler cannot
     read the reservation schedule and must find each task's reservation
     through a bounded number of trial-and-error requests against a
-    {!Mp_platform.Probe.t}.
+    {!Mp_service.Probe.t} (the single-site facade over the scheduling
+    service's {!Mp_service.Engine}).
 
     The algorithm mirrors [Ressched.schedule] (BL_CPAR order, BD_CPAR-like
     allocation bounds computed from a {e guess} [q] of the average
@@ -24,7 +25,7 @@ val schedule :
   ?budget:int ->
   ?bl:Bottom_level.method_ ->
   q:int ->
-  probe:Mp_platform.Probe.t ->
+  probe:Mp_service.Probe.t ->
   Mp_dag.Dag.t ->
   Mp_cpa.Schedule.t
 (** [schedule ~q ~probe dag] schedules every task through the probe

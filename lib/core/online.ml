@@ -23,17 +23,27 @@ let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~e
     (fun k i ->
       if k < Array.length events then
         List.iter
-          (fun (r : Reservation.t) ->
-            if Calendar.Txn.reserve_opt cal r then begin
-              Mp_obs.Counter.incr c_granted;
-              Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
-                ~granted:true;
-              granted := r :: !granted
-            end
-            else
-              (* the competitor lost the race for that slot *)
-              Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
-                ~granted:false)
+          (fun (ev : Mp_service.Request.t) ->
+            match ev with
+            | Reserve { start; dur; procs } when dur >= 1 && procs >= 1 ->
+                let r = Reservation.make ~start ~finish:(start + dur) ~procs in
+                if Calendar.Txn.reserve_opt cal r then begin
+                  Mp_obs.Counter.incr c_granted;
+                  Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
+                    ~granted:true;
+                  granted := r :: !granted
+                end
+                else
+                  (* the competitor lost the race for that slot *)
+                  Mp_forensics.Journal.grant ~start:r.start ~finish:r.finish ~procs:r.procs
+                    ~granted:false
+            | Reserve { start; dur; procs } ->
+                (* nonsensical request: rejected, as Engine would *)
+                Mp_forensics.Journal.grant ~start ~finish:(start + dur) ~procs ~granted:false
+            | Probe _ | Cancel _ | Submit_dag _ | Explain _ ->
+                (* queries don't perturb the calendar, and competitor
+                   cancellations / DAG submissions are not modelled here *)
+                ())
           events.(k);
       let ready =
         Array.fold_left (fun acc j -> max acc slots.(j).Schedule.finish) 0 (Dag.preds dag i)

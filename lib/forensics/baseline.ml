@@ -1,4 +1,11 @@
-type section = { name : string; wall_s : float; counters : (string * float) list }
+module Json = Mp_prelude.Json
+
+type section = {
+  name : string;
+  wall_s : float;
+  counters : (string * float) list;
+  metrics : (string * float) list;
+}
 
 type run = {
   schema : string;
@@ -8,224 +15,63 @@ type run = {
   sections : section list;
 }
 
-let schema_version = "mpres-bench-core-1"
+let schema_version = "mpres-bench-core-2"
 
 (* --- serialization ----------------------------------------------------- *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Json.escape
+
+let kv_json fmt kvs =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf fmt (escape k) v) kvs)
 
 let section_json s =
-  let counters =
-    String.concat ","
-      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%.0f" (escape k) v) s.counters)
-  in
-  Printf.sprintf "{\"name\":\"%s\",\"wall_s\":%.6f,\"counters\":{%s}}" (escape s.name) s.wall_s
-    counters
+  let counters = kv_json "\"%s\":%.0f" s.counters in
+  let metrics = kv_json "\"%s\":%.6f" s.metrics in
+  Printf.sprintf "{\"name\":\"%s\",\"wall_s\":%.6f,\"counters\":{%s},\"metrics\":{%s}}"
+    (escape s.name) s.wall_s counters metrics
 
 let to_json r =
   Printf.sprintf "{\"schema\":\"%s\",\"scale\":\"%s\",\"jobs\":%d,\"total_s\":%.6f,\"sections\":[\n%s\n]}\n"
     (escape r.schema) (escape r.scale) r.jobs r.total_s
     (String.concat ",\n" (List.map section_json r.sections))
 
-(* --- minimal JSON parser ----------------------------------------------- *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Parse_error of int * string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (!pos, msg)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    if !pos < n && s.[!pos] = c then advance ()
-    else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let string_lit () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (if !pos >= n then fail "unterminated escape"
-             else
-               match s.[!pos] with
-               | '"' -> Buffer.add_char buf '"'
-               | '\\' -> Buffer.add_char buf '\\'
-               | '/' -> Buffer.add_char buf '/'
-               | 'n' -> Buffer.add_char buf '\n'
-               | 't' -> Buffer.add_char buf '\t'
-               | 'r' -> Buffer.add_char buf '\r'
-               | c -> fail (Printf.sprintf "unsupported escape \\%c" c));
-            advance ();
-            go ()
-        | c ->
-            Buffer.add_char buf c;
-            advance ();
-            go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    if !pos = start then fail "expected number"
-    else
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "malformed number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> Str (string_lit ())
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec go () =
-            skip_ws ();
-            let k = string_lit () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                go ()
-            | Some '}' -> advance ()
-            | _ -> fail "expected , or } in object"
-          in
-          go ();
-          Obj (List.rev !fields)
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let items = ref [] in
-          let rec go () =
-            let v = value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                go ()
-            | Some ']' -> advance ()
-            | _ -> fail "expected , or ] in array"
-          in
-          go ();
-          Arr (List.rev !items)
-        end
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (number ())
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing content";
-  v
-
-let field obj name =
-  match obj with
-  | Obj fields -> List.assoc_opt name fields
-  | _ -> None
-
-let str_field obj name =
-  match field obj name with Some (Str s) -> Some s | _ -> None
-
-let num_field obj name =
-  match field obj name with Some (Num f) -> Some f | _ -> None
+(* --- parsing (the minimal JSON reader lives in Mp_prelude.Json) -------- *)
 
 let of_json text =
-  match parse_json text with
-  | exception Parse_error (pos, msg) ->
-      Error (Printf.sprintf "JSON parse error at byte %d: %s" pos msg)
-  | json -> (
+  match Json.of_string text with
+  | Error _ as e -> e
+  | Ok json -> (
       let ( let* ) o f = match o with Some v -> f v | None -> Error "missing field" in
+      let num_fields name sj =
+        match Json.obj sj name with
+        | Some fields ->
+            List.filter_map
+              (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None)
+              fields
+        | None -> []
+      in
       let result =
-        let* schema = str_field json "schema" in
-        let* scale = str_field json "scale" in
-        let* jobs = num_field json "jobs" in
-        let* total_s = num_field json "total_s" in
-        let* sections_json =
-          match field json "sections" with Some (Arr l) -> Some l | _ -> None
-        in
+        let* schema = Json.str json "schema" in
+        let* scale = Json.str json "scale" in
+        let* jobs = Json.int_ json "jobs" in
+        let* total_s = Json.num json "total_s" in
+        let* sections_json = Json.arr json "sections" in
         let sections =
           List.filter_map
             (fun sj ->
-              match (str_field sj "name", num_field sj "wall_s") with
+              match (Json.str sj "name", Json.num sj "wall_s") with
               | Some name, Some wall_s ->
-                  let counters =
-                    match field sj "counters" with
-                    | Some (Obj fields) ->
-                        List.filter_map
-                          (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
-                          fields
-                    | _ -> []
-                  in
-                  Some { name; wall_s; counters }
+                  Some
+                    {
+                      name;
+                      wall_s;
+                      counters = num_fields "counters" sj;
+                      metrics = num_fields "metrics" sj;
+                    }
               | _ -> None)
             sections_json
         in
-        Ok { schema; scale; jobs = int_of_float jobs; total_s; sections }
+        Ok { schema; scale; jobs; total_s; sections }
       in
       match result with
       | Ok r when r.schema <> schema_version ->
@@ -280,7 +126,16 @@ let compare ?(wall_factor = 2.0) ?(wall_slop = 0.25) ?(counter_factor = 1.05) ~b
                     failf "%s: counter %s = %.0f > limit %.0f (baseline %.0f)" base_s.name k
                       cur_v limit_v base_v
                   else say "ok   %s: counter %s = %.0f (baseline %.0f)" base_s.name k cur_v base_v)
-            base_s.counters)
+            base_s.counters;
+          (* Metrics are machine-speed dependent (throughput, latency
+             percentiles): report them side by side, never fail on them. *)
+          List.iter
+            (fun (k, base_v) ->
+              match List.assoc_opt k cur_s.metrics with
+              | None -> say "note %s: metric %s not in current run" base_s.name k
+              | Some cur_v ->
+                  say "note %s: metric %s = %.3f (baseline %.3f)" base_s.name k cur_v base_v)
+            base_s.metrics)
     baseline.sections;
   List.iter
     (fun cur_s ->

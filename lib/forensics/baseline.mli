@@ -1,28 +1,36 @@
 (** Persisted perf-baseline harness for the benchmark suite.
 
     [bench/main.exe] writes a {!run} to [BENCH_core.json] (schema
-    ["mpres-bench-core-1"]) after every invocation: per-section
-    wall-clock plus the key [Mp_obs] counter deltas when tracing was on.
+    ["mpres-bench-core-2"]) after every invocation: per-section
+    wall-clock plus the key [Mp_obs] counter deltas when tracing was on,
+    plus free-form per-section [metrics] (machine-speed dependent
+    figures such as requests/s — reported by the comparator, never
+    gated).
     [bench/compare.exe] reads a committed baseline and a fresh run and
     {!compare}s them with tolerances, exiting non-zero on regression —
     wall-clock within a generous multiplicative factor (machines differ),
     counters exactly-scaled (the algorithms are deterministic, so counter
     growth is a real algorithmic regression, not noise).
 
-    The JSON reader is a minimal recursive-descent parser for the subset
-    this schema uses (objects, arrays, strings, numbers, booleans,
-    null); it is not a general-purpose JSON library. *)
+    The JSON reader is {!Mp_prelude.Json}, the shared minimal parser for
+    the subset this schema uses (objects, arrays, strings, numbers,
+    booleans, null). *)
 
 type section = {
   name : string;
   wall_s : float;  (** wall-clock seconds for the section *)
   counters : (string * float) list;
       (** [Mp_obs] counter deltas observed during the section; empty when
-          the run was not traced *)
+          the run was not traced.  Deterministic at fixed scale/jobs, so
+          {!compare} gates them exactly. *)
+  metrics : (string * float) list;
+      (** Machine-speed-dependent measurements (requests/s, latency
+          percentiles — the "Service" bench section).  {!compare} reports
+          them side by side but never fails on them. *)
 }
 
 type run = {
-  schema : string;  (** ["mpres-bench-core-1"] *)
+  schema : string;  (** ["mpres-bench-core-2"] *)
   scale : string;  (** [MPRES_SCALE] in effect: tiny | standard | paper *)
   jobs : int;  (** worker domains used *)
   total_s : float;  (** end-to-end wall-clock seconds *)
@@ -60,5 +68,7 @@ val compare :
     (default 1.05).  A section present in the baseline but missing from
     the current run is a failure; sections or counters only in the
     current run are reported but never fail (new benchmarks may land
-    before the baseline is regenerated).  Scale or jobs mismatch between
-    the runs is a failure (the numbers would not be comparable). *)
+    before the baseline is regenerated).  [metrics] are reported but
+    never gate (machine-speed dependent).  Scale or jobs mismatch
+    between the runs is a failure (the numbers would not be
+    comparable). *)

@@ -1,0 +1,260 @@
+module Calendar = Mp_platform.Calendar
+module Reservation = Mp_platform.Reservation
+module Journal = Mp_forensics.Journal
+
+type site_spec = { calendar : Calendar.t; q : int }
+
+type handlers = {
+  submit :
+    algo:string ->
+    deadline:Request.deadline_spec ->
+    q:int ->
+    Calendar.t ->
+    Mp_dag.Dag.t ->
+    Response.t;
+  explain :
+    algo:string ->
+    deadline:int option ->
+    format:string ->
+    q:int ->
+    Calendar.t ->
+    Mp_dag.Dag.t ->
+    Response.t;
+}
+
+let no_scheduler _ = Response.Error "no scheduler attached (wire Mp_core.Serve.handlers)"
+
+let no_handlers =
+  {
+    submit = (fun ~algo:_ ~deadline:_ ~q:_ _ dag -> no_scheduler dag);
+    explain = (fun ~algo:_ ~deadline:_ ~format:_ ~q:_ _ dag -> no_scheduler dag);
+  }
+
+type site = {
+  q : int;
+  mutable cal : Calendar.t;
+  mutable held : Reservation.t list;  (* most recent first *)
+  mutable n_requests : int;
+}
+
+type t = { sites : site array; handlers : handlers }
+
+let create ?(handlers = no_handlers) ~sites () =
+  if Array.length sites = 0 then invalid_arg "Engine.create: no sites";
+  let site (s : site_spec) = { q = s.q; cal = s.calendar; held = []; n_requests = 0 } in
+  { sites = Array.map site sites; handlers }
+
+(* --- observability (record-only) --------------------------------------- *)
+
+let span_request = Mp_obs.Span.make "service.request"
+let timer_handle = Mp_obs.Timer.make "service.handle"
+let c_granted = Mp_obs.Counter.make "service.granted"
+let c_rejected = Mp_obs.Counter.make "service.rejected"
+let c_available = Mp_obs.Counter.make "service.available"
+let c_scheduled = Mp_obs.Counter.make "service.scheduled"
+let c_infeasible = Mp_obs.Counter.make "service.infeasible"
+let c_cancelled = Mp_obs.Counter.make "service.cancelled"
+let c_explained = Mp_obs.Counter.make "service.explained"
+let c_overloaded = Mp_obs.Counter.make "service.overloaded"
+let c_error = Mp_obs.Counter.make "service.error"
+
+let count_response = function
+  | Response.Granted -> Mp_obs.Counter.incr c_granted
+  | Response.Rejected _ -> Mp_obs.Counter.incr c_rejected
+  | Response.Available _ -> Mp_obs.Counter.incr c_available
+  | Response.Scheduled _ -> Mp_obs.Counter.incr c_scheduled
+  | Response.Infeasible _ -> Mp_obs.Counter.incr c_infeasible
+  | Response.Cancelled -> Mp_obs.Counter.incr c_cancelled
+  | Response.Explained _ -> Mp_obs.Counter.incr c_explained
+  | Response.Overloaded -> Mp_obs.Counter.incr c_overloaded
+  | Response.Error _ -> Mp_obs.Counter.incr c_error
+
+(* --- dispatch ----------------------------------------------------------- *)
+
+(* Exactly the trial-and-error semantics of the old [Probe.request]: the
+   facade is now a client of this code path, and [Mp_core.Blind]'s
+   "blind matches omniscient" pin depends on grant/suggestion behaviour
+   staying put. *)
+let reserve site ~start ~dur ~procs =
+  if start < 0 || dur < 1 || procs < 1 then Response.Rejected None
+  else if procs > Calendar.procs site.cal then Response.Rejected None
+  else begin
+    let r = Reservation.make ~start ~finish:(start + dur) ~procs in
+    match Calendar.reserve_opt site.cal r with
+    | Some cal ->
+        site.cal <- cal;
+        site.held <- r :: site.held;
+        if !Journal.enabled then Journal.grant ~start ~finish:(start + dur) ~procs ~granted:true;
+        Response.Granted
+    | None ->
+        if !Journal.enabled then Journal.grant ~start ~finish:(start + dur) ~procs ~granted:false;
+        Response.Rejected (Calendar.earliest_fit site.cal ~after:start ~procs ~dur)
+  end
+
+let probe site ~start ~dur ~procs =
+  if start < 0 || dur < 1 || procs < 1 || procs > Calendar.procs site.cal then
+    Response.Available None
+  else Response.Available (Calendar.earliest_fit site.cal ~after:start ~procs ~dur)
+
+let cancel site ~start ~finish ~procs =
+  let not_held () =
+    Response.Error (Printf.sprintf "reservation [%d, %d) x %d is not held" start finish procs)
+  in
+  if start >= finish || procs < 1 then not_held ()
+  else begin
+    let r = Reservation.make ~start ~finish ~procs in
+    let rec remove = function
+      | [] -> None
+      | r' :: rest when r' = r -> Some rest
+      | r' :: rest -> Option.map (fun rest -> r' :: rest) (remove rest)
+    in
+    match remove site.held with
+    | None -> not_held ()
+    | Some held ->
+        site.held <- held;
+        site.cal <- Calendar.release site.cal r;
+        Response.Cancelled
+  end
+
+let submit t site ~algo ~deadline dag =
+  match t.handlers.submit ~algo ~deadline ~q:site.q site.cal dag with
+  | Response.Scheduled { schedule; _ } as resp -> (
+      match
+        List.fold_left
+          (fun cal r -> match cal with None -> None | Some c -> Calendar.reserve_opt c r)
+          (Some site.cal)
+          (Mp_cpa.Schedule.reservations schedule)
+      with
+      | Some cal ->
+          site.cal <- cal;
+          resp
+      | None -> Response.Error "submit_dag: schedule overcommits the site calendar")
+  | resp -> resp
+
+let dispatch t site (r : Request.t) =
+  match r with
+  | Reserve { start; dur; procs } -> reserve site ~start ~dur ~procs
+  | Probe { start; dur; procs } -> probe site ~start ~dur ~procs
+  | Cancel { start; finish; procs } -> cancel site ~start ~finish ~procs
+  | Submit_dag { dag; algo; deadline } -> submit t site ~algo ~deadline dag
+  | Explain { dag; algo; deadline; format } ->
+      t.handlers.explain ~algo ~deadline ~format ~q:site.q site.cal dag
+
+let handle t ~site r =
+  if site < 0 || site >= Array.length t.sites then begin
+    let resp = Response.Error (Printf.sprintf "unknown site %d" site) in
+    count_response resp;
+    resp
+  end
+  else begin
+    let s = t.sites.(site) in
+    s.n_requests <- s.n_requests + 1;
+    Mp_obs.Span.enter span_request;
+    let t0 = Mp_obs.Timer.start () in
+    let resp = try dispatch t s r with Invalid_argument msg -> Response.Error msg in
+    Mp_obs.Timer.stop timer_handle t0;
+    Mp_obs.Span.exit span_request;
+    count_response resp;
+    resp
+  end
+
+(* --- enveloped streams with admission control --------------------------- *)
+
+type outcome = {
+  id : int;
+  site : int;
+  arrival : int;
+  started : int;
+  response : Response.t;
+  wall_ns : int;
+}
+
+(* One site's envelopes in ⟨arrival, id⟩ order through a simulated
+   single-server FIFO queue.  Simulated time only: [free_at] is when the
+   server next idles, [inflight] the finish times of admitted requests
+   not yet complete at the head arrival (monotone, so draining the front
+   is enough).  Decisions depend only on the envelope stream and the
+   deterministic [Request.cost] model — never on wall-clock. *)
+let run_site t ~queue_limit ~measure site_idx envelopes =
+  let envelopes =
+    List.stable_sort
+      (fun (a : Request.envelope) b ->
+        match compare a.arrival b.arrival with 0 -> compare a.id b.id | c -> c)
+      envelopes
+  in
+  let free_at = ref 0 in
+  let inflight = Queue.create () in
+  let serve (e : Request.envelope) =
+    while (not (Queue.is_empty inflight)) && Queue.peek inflight <= e.arrival do
+      ignore (Queue.pop inflight)
+    done;
+    let shed () =
+      let resp = Response.Overloaded in
+      count_response resp;
+      { id = e.id; site = site_idx; arrival = e.arrival; started = e.arrival;
+        response = resp; wall_ns = 0 }
+    in
+    if Queue.length inflight >= queue_limit then shed ()
+    else begin
+      let started = max e.arrival !free_at in
+      let over_budget =
+        match e.budget with None -> false | Some b -> started - e.arrival > b
+      in
+      if over_budget then shed ()
+      else begin
+        let finish = started + max 1 (Request.cost e.payload) in
+        free_at := finish;
+        Queue.push finish inflight;
+        let t0 = if measure then Mp_obs.now_ns () else 0 in
+        let response = handle t ~site:site_idx e.payload in
+        let wall_ns = if measure then Mp_obs.now_ns () - t0 else 0 in
+        { id = e.id; site = site_idx; arrival = e.arrival; started; response;
+          wall_ns = max 0 wall_ns }
+      end
+    end
+  in
+  List.map serve envelopes
+
+let run ?pool ?(queue_limit = max_int) ?(measure = false) t envelopes =
+  let n = Array.length t.sites in
+  let per_site = Array.make n [] in
+  let bad =
+    List.filter_map
+      (fun (e : Request.envelope) ->
+        if e.site < 0 || e.site >= n then begin
+          let response = Response.Error (Printf.sprintf "unknown site %d" e.site) in
+          count_response response;
+          Some
+            { id = e.id; site = e.site; arrival = e.arrival; started = e.arrival;
+              response; wall_ns = 0 }
+        end
+        else begin
+          per_site.(e.site) <- e :: per_site.(e.site);
+          None
+        end)
+      envelopes
+  in
+  let jobs = Array.to_list (Array.mapi (fun i es -> (i, List.rev es)) per_site) in
+  let f (i, es) = run_site t ~queue_limit ~measure i es in
+  let per_site_outcomes = match pool with None -> List.map f jobs | Some p -> Mp_prelude.Pool.map p f jobs in
+  List.sort
+    (fun a b -> compare a.id b.id)
+    (List.concat (bad :: per_site_outcomes))
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let check_site t site name =
+  if site < 0 || site >= Array.length t.sites then
+    invalid_arg (Printf.sprintf "Engine.%s: unknown site %d" name site)
+
+let requests t = Array.fold_left (fun acc s -> acc + s.n_requests) 0 t.sites
+
+let granted t ~site =
+  check_site t site "granted";
+  t.sites.(site).held
+
+let calendar t ~site =
+  check_site t site "calendar";
+  t.sites.(site).cal
+
+let n_sites t = Array.length t.sites

@@ -1,0 +1,32 @@
+(* [n_probes] counts only [request] calls, exactly as the pre-service
+   facade did: [Mp_core.Blind]'s probe budget charges requests, not
+   cancellations, and the budget is behaviour-defining there. *)
+type t = { engine : Engine.t; mutable n_probes : int }
+
+type response = Response.t
+
+let create calendar =
+  {
+    engine =
+      Engine.create ~sites:[| { Engine.calendar; q = Mp_platform.Calendar.procs calendar } |] ();
+    n_probes = 0;
+  }
+
+let engine t = t.engine
+
+let request t ~start ~dur ~procs =
+  t.n_probes <- t.n_probes + 1;
+  Engine.handle t.engine ~site:0 (Request.Reserve { start; dur; procs })
+
+let cancel t (r : Mp_platform.Reservation.t) =
+  match
+    Engine.handle t.engine ~site:0
+      (Request.Cancel { start = r.start; finish = r.finish; procs = r.procs })
+  with
+  | Response.Cancelled -> ()
+  | Response.Error msg -> invalid_arg ("Probe.cancel: " ^ msg)
+  | resp -> invalid_arg ("Probe.cancel: unexpected response " ^ Response.to_string resp)
+
+let probes t = t.n_probes
+let granted t = Engine.granted t.engine ~site:0
+let reveal t = Engine.calendar t.engine ~site:0

@@ -1,0 +1,48 @@
+(** Limited-visibility reservation facade — now a thin client of
+    {!Engine}.
+
+    The paper assumes the application scheduler sees the whole reservation
+    calendar (Section 3.2.2) and notes that, when administrators disable
+    that feature, "the application schedule would have to be determined
+    via (a bounded number of) trial-and-error reservation requests for
+    each application task".  This module keeps that trial-and-error shape
+    — request, grant-or-reject-with-suggestion, cancel — as a facade over
+    a single-site {!Engine}, emitting {!Request.Reserve} and
+    {!Request.Cancel} and translating nothing: {!response} {e is}
+    {!Response.t}.
+
+    @deprecated New code should speak {!Engine.handle} (or {!Engine.run}
+    for enveloped streams) directly; this facade survives one release for
+    the probe-counting idiom of [Mp_core.Blind] and the experiments. *)
+
+type t
+
+type response = Response.t
+(** The unified service vocabulary.  {!request} only ever answers
+    {!Response.Granted} or {!Response.Rejected}. *)
+
+val create : Mp_platform.Calendar.t -> t
+(** Wrap a calendar in a fresh single-site engine.  The facade is
+    imperative: granted requests update the hidden state. *)
+
+val engine : t -> Engine.t
+(** The underlying engine (site 0 is the facade's site). *)
+
+val request : t -> start:int -> dur:int -> procs:int -> response
+(** Ask for [procs] processors over [\[start, start + dur)]. *)
+
+val cancel : t -> Mp_platform.Reservation.t -> unit
+(** Release a previously granted reservation (reservation systems let
+    holders cancel).  Raises [Invalid_argument], naming the reservation,
+    if it is not currently held — cancelling twice therefore fails with
+    a message saying which reservation was not held. *)
+
+val probes : t -> int
+(** Number of requests made so far (granted or not). *)
+
+val granted : t -> Mp_platform.Reservation.t list
+(** Reservations granted so far and not cancelled, most recent first. *)
+
+val reveal : t -> Mp_platform.Calendar.t
+(** The hidden calendar's current state — for validation in tests and
+    experiments only; a real system would not expose it. *)

@@ -1,0 +1,112 @@
+module Json = Mp_prelude.Json
+module Schedule = Mp_cpa.Schedule
+
+type t =
+  | Granted
+  | Rejected of int option
+  | Available of int option
+  | Scheduled of { schedule : Mp_cpa.Schedule.t; deadline : int option }
+  | Infeasible of { algo : string; deadline : int option }
+  | Cancelled
+  | Explained of string
+  | Overloaded
+  | Error of string
+
+let kind = function
+  | Granted -> "granted"
+  | Rejected _ -> "rejected"
+  | Available _ -> "available"
+  | Scheduled _ -> "scheduled"
+  | Infeasible _ -> "infeasible"
+  | Cancelled -> "cancelled"
+  | Explained _ -> "explained"
+  | Overloaded -> "overloaded"
+  | Error _ -> "error"
+
+let int_opt = function None -> Json.Null | Some i -> Json.Num (float_of_int i)
+
+let to_json r =
+  let tag = ("response", Json.Str (kind r)) in
+  match r with
+  | Granted | Cancelled | Overloaded -> Json.Obj [ tag ]
+  | Rejected s -> Json.Obj [ tag; ("suggestion", int_opt s) ]
+  | Available s -> Json.Obj [ tag; ("start", int_opt s) ]
+  | Scheduled { schedule; deadline } ->
+      let slot (s : Schedule.slot) =
+        Json.Arr
+          [
+            Num (float_of_int s.start); Num (float_of_int s.finish); Num (float_of_int s.procs);
+          ]
+      in
+      Json.Obj
+        [
+          tag;
+          ("deadline", int_opt deadline);
+          ("slots", Json.Arr (Array.to_list (Array.map slot schedule.Schedule.slots)));
+        ]
+  | Infeasible { algo; deadline } ->
+      Json.Obj [ tag; ("algo", Json.Str algo); ("deadline", int_opt deadline) ]
+  | Explained report -> Json.Obj [ tag; ("report", Json.Str report) ]
+  | Error msg -> Json.Obj [ tag; ("message", Json.Str msg) ]
+
+let to_string r = Json.to_string (to_json r)
+
+let opt_int_field j name =
+  match Json.field j name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Num f) -> Ok (Some (int_of_float f))
+  | Some _ -> Result.Error (Printf.sprintf "response field %S must be an int or null" name)
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  match Json.str j "response" with
+  | None -> Result.Error "missing \"response\" tag"
+  | Some "granted" -> Ok Granted
+  | Some "cancelled" -> Ok Cancelled
+  | Some "overloaded" -> Ok Overloaded
+  | Some "rejected" ->
+      let* s = opt_int_field j "suggestion" in
+      Ok (Rejected s)
+  | Some "available" ->
+      let* s = opt_int_field j "start" in
+      Ok (Available s)
+  | Some "scheduled" -> (
+      let* deadline = opt_int_field j "deadline" in
+      match Json.arr j "slots" with
+      | None -> Result.Error "scheduled response: missing slots"
+      | Some slots ->
+          let slot = function
+            | Json.Arr [ Json.Num s; Json.Num f; Json.Num p ] ->
+                Ok
+                  ({ start = int_of_float s; finish = int_of_float f; procs = int_of_float p }
+                    : Schedule.slot)
+            | _ -> Result.Error "scheduled response: slot must be [start,finish,procs]"
+          in
+          let* slots =
+            List.fold_left
+              (fun acc sj ->
+                let* acc = acc in
+                let* s = slot sj in
+                Ok (s :: acc))
+              (Ok []) slots
+          in
+          Ok (Scheduled { schedule = { Schedule.slots = Array.of_list (List.rev slots) }; deadline }))
+  | Some "infeasible" -> (
+      let* deadline = opt_int_field j "deadline" in
+      match Json.str j "algo" with
+      | Some algo -> Ok (Infeasible { algo; deadline })
+      | None -> Result.Error "infeasible response: missing algo")
+  | Some "explained" -> (
+      match Json.str j "report" with
+      | Some report -> Ok (Explained report)
+      | None -> Result.Error "explained response: missing report")
+  | Some "error" -> (
+      match Json.str j "message" with
+      | Some msg -> Ok (Error msg)
+      | None -> Result.Error "error response: missing message")
+  | Some other -> Result.Error (Printf.sprintf "unknown response kind %S" other)
+
+let of_string text =
+  match Json.of_string text with Result.Error _ as e -> e | Ok j -> of_json j
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

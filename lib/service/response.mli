@@ -1,0 +1,58 @@
+(** The unified response type of the scheduling service.
+
+    One typed answer vocabulary for every consumer that used to speak its
+    own dialect: the trial-and-error reservation facade ({!Probe}, whose
+    [Granted | Rejected] pair folds in here), the online competitor
+    stream ([Mp_core.Online]), the one-shot CLI paths
+    ([mpres schedule|deadline|explain]) and the long-running
+    [mpres serve] daemon all receive {!t} values from
+    {!Engine.handle}.
+
+    Serialization round-trips through the shared hand-rolled JSON
+    ({!Mp_prelude.Json}); {!of_json}[ (]{!to_json}[ r) = Ok r] for every
+    response (pinned by a qcheck property in [test_service.ml]). *)
+
+type t =
+  | Granted
+      (** a {!Request.Reserve} was placed; the site's live calendar is
+          updated *)
+  | Rejected of int option
+      (** insufficient availability for a {!Request.Reserve}; carries the
+          earliest start time at or after the requested one at which the
+          request would currently succeed, if any *)
+  | Available of int option
+      (** answer to a {!Request.Probe} feasibility query: earliest start
+          at or after the requested one that currently fits ([Some start]
+          when the requested start itself fits), or [None] *)
+  | Scheduled of { schedule : Mp_cpa.Schedule.t; deadline : int option }
+      (** a {!Request.Submit_dag} was placed and its reservations
+          committed to the site's calendar; [deadline] is the resolved
+          deadline for RESSCHEDDL algorithms ([Some k] — the tightest one
+          when the request asked for [Tightest]) and [None] for plain
+          RESSCHED *)
+  | Infeasible of { algo : string; deadline : int option }
+      (** a deadline {!Request.Submit_dag} cannot be met: [Some k] when a
+          fixed deadline [k] was requested, [None] when even the
+          tightest-deadline search found nothing *)
+  | Cancelled  (** a {!Request.Cancel} released its reservation *)
+  | Explained of string
+      (** the rendered forensics report of a {!Request.Explain} *)
+  | Overloaded
+      (** admission control shed the request: the site's bounded
+          in-flight queue was full, or the request's queue-delay budget
+          was exceeded before service could start *)
+  | Error of string
+      (** malformed or unserviceable request (unknown algorithm, unknown
+          site, cancel of a reservation that is not held, ...) *)
+
+val kind : t -> string
+(** Short lowercase tag (["granted"], ["rejected"], ...) — the JSON
+    discriminator, also used for response-count summaries. *)
+
+val to_json : t -> Mp_prelude.Json.t
+val to_string : t -> string
+
+val of_json : Mp_prelude.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

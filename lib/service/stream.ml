@@ -1,0 +1,82 @@
+module Rng = Mp_prelude.Rng
+
+type mix = { reserve : int; probe : int; cancel : int; submit : int; explain : int }
+
+let default_mix = { reserve = 50; probe = 25; cancel = 15; submit = 8; explain = 2 }
+
+let small_dag rng =
+  let n = 6 + Rng.int rng 11 in
+  Mp_dag.Dag_gen.generate rng { Mp_dag.Dag_gen.default with n }
+
+let generate rng ?(mix = default_mix) ?(horizon = 86_400) ?budget ?(algos = [ "cpa" ]) ~sites
+    ~procs ~n () =
+  if n < 0 then invalid_arg "Stream.generate: n < 0";
+  if sites < 1 then invalid_arg "Stream.generate: sites < 1";
+  if procs < 1 then invalid_arg "Stream.generate: procs < 1";
+  if horizon < 1 then invalid_arg "Stream.generate: horizon < 1";
+  let weights = [| mix.reserve; mix.probe; mix.cancel; mix.submit; mix.explain |] in
+  Array.iter (fun w -> if w < 0 then invalid_arg "Stream.generate: negative mix weight") weights;
+  let total = Array.fold_left ( + ) 0 weights in
+  if total = 0 then invalid_arg "Stream.generate: all-zero mix";
+  let algos = Array.of_list algos in
+  if Array.length algos = 0 then invalid_arg "Stream.generate: empty algos";
+  (* per-site memory of issued Reserve triples, so Cancels usually target
+     a reservation the engine may actually hold *)
+  let issued = Array.make sites [] in
+  let pick_kind () =
+    let r = ref (Rng.int rng total) and k = ref 0 in
+    while !r >= weights.(!k) do
+      r := !r - weights.(!k);
+      incr k
+    done;
+    !k
+  in
+  let triple arrival =
+    let start = arrival + Rng.int rng horizon in
+    let dur = 60 + Rng.int rng 3540 in
+    let p = 1 + Rng.int rng procs in
+    (start, dur, p)
+  in
+  let clock = ref 0 in
+  let envelope id : Request.envelope =
+    clock := !clock + Rng.int rng 10;
+    let arrival = !clock in
+    let site = Rng.int rng sites in
+    let payload : Request.t =
+      match pick_kind () with
+      | 0 ->
+          let start, dur, p = triple arrival in
+          issued.(site) <- (start, dur, p) :: issued.(site);
+          Reserve { start; dur; procs = p }
+      | 1 ->
+          let start, dur, p = triple arrival in
+          Probe { start; dur; procs = p }
+      | 2 -> (
+          match issued.(site) with
+          | (start, dur, p) :: rest ->
+              issued.(site) <- rest;
+              Cancel { start; finish = start + dur; procs = p }
+          | [] ->
+              let start, dur, p = triple arrival in
+              Cancel { start; finish = start + dur; procs = p })
+      | 3 ->
+          let dag = small_dag rng in
+          let algo = Rng.sample rng algos in
+          let deadline : Request.deadline_spec =
+            match Rng.int rng 4 with
+            | 0 -> By (arrival + horizon + Rng.int rng horizon)
+            | 1 -> Tightest
+            | _ -> No_deadline
+          in
+          Submit_dag { dag; algo; deadline }
+      | _ ->
+          let dag = small_dag rng in
+          let algo = Rng.sample rng algos in
+          Explain { dag; algo; deadline = None; format = "text" }
+    in
+    let budget =
+      match budget with Some b when Rng.bool rng -> Some b | Some _ | None -> None
+    in
+    { id; site; arrival; budget; payload }
+  in
+  List.init n envelope

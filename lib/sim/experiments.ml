@@ -670,11 +670,11 @@ let blind_ablation ?pool ?jobs scale =
             List.split
               (Pool.map p
                  (fun ((inst : Instance.t), baseline) ->
-                   let probe = Mp_platform.Probe.create inst.env.calendar in
+                   let probe = Mp_service.Probe.create inst.env.calendar in
                    let sched = Mp_core.Blind.schedule ~budget ~q:inst.env.q ~probe inst.dag in
                    let tat = float_of_int (Schedule.turnaround sched) in
                    ( (tat -. baseline) /. baseline *. 100.,
-                     float_of_int (Mp_platform.Probe.probes probe)
+                     float_of_int (Mp_service.Probe.probes probe)
                      /. float_of_int (Mp_dag.Dag.n inst.dag) ))
                  cases)
           in
@@ -702,8 +702,9 @@ type online_row = {
   avg_competitors_granted : float;
 }
 
-(* Competing reservations that arrive between two of our placement
-   decisions: near-future, modestly sized, short. *)
+(* Competing reservation requests that arrive between two of our placement
+   decisions: near-future, modestly sized, short — spoken in the service
+   protocol ([Mp_service.Request.Reserve]), like any other client. *)
 let draw_arrivals rng ~p ~rate ~steps =
   Array.init steps (fun _ ->
       let k =
@@ -716,7 +717,7 @@ let draw_arrivals rng ~p ~rate ~steps =
           let start = Rng.int rng 86_400 in
           let dur = 600 + Rng.int rng 14_400 in
           let procs = 1 + Rng.int rng (max 1 (p / 4)) in
-          Mp_platform.Reservation.make ~start ~finish:(start + dur) ~procs))
+          Mp_service.Request.Reserve { start; dur; procs }))
 
 let online_ablation scale =
   let apps = Scenario.sample_app_specs (max 2 (scale.n_app / 2)) in

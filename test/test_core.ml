@@ -378,7 +378,7 @@ let test_blind_matches_omniscient_with_large_budget () =
     let env = busy_env seed in
     let dag = random_dag (seed + 500) in
     let omniscient = Ressched.schedule ~bl:BL_CPAR ~bd:BD_CPAR env dag in
-    let probe = Mp_platform.Probe.create env.calendar in
+    let probe = Mp_service.Probe.create env.calendar in
     let blind = Blind.schedule ~budget:10_000 ~q:env.q ~probe dag in
     if blind <> omniscient then
       Alcotest.failf "seed %d: blind schedule differs from omniscient BD_CPAR" seed
@@ -389,7 +389,7 @@ let test_blind_valid_with_small_budget () =
     (fun budget ->
       let env = busy_env 45 in
       let dag = random_dag 46 in
-      let probe = Mp_platform.Probe.create env.calendar in
+      let probe = Mp_service.Probe.create env.calendar in
       let sched = Blind.schedule ~budget ~q:env.q ~probe dag in
       check_valid env dag sched)
     [ 1; 2; 4; 8 ]
@@ -401,7 +401,7 @@ let test_blind_budget_improves_quality () =
     for seed = 47 to 52 do
       let env = busy_env seed in
       let dag = random_dag (seed + 600) in
-      let probe = Mp_platform.Probe.create env.calendar in
+      let probe = Mp_service.Probe.create env.calendar in
       acc := !acc + Schedule.turnaround (Blind.schedule ~budget ~q:env.q ~probe dag)
     done;
     !acc
@@ -411,15 +411,15 @@ let test_blind_budget_improves_quality () =
 let test_blind_counts_probes () =
   let env = busy_env 53 in
   let dag = random_dag 54 in
-  let probe = Mp_platform.Probe.create env.calendar in
+  let probe = Mp_service.Probe.create env.calendar in
   let (_ : Schedule.t) = Blind.schedule ~q:env.q ~probe dag in
   Alcotest.(check bool) "at least one probe per task" true
-    (Mp_platform.Probe.probes probe >= Dag.n dag)
+    (Mp_service.Probe.probes probe >= Dag.n dag)
 
 let test_blind_invalid_budget () =
   let env = Env.no_reservations ~p:4 in
   let dag = diamond () in
-  let probe = Mp_platform.Probe.create env.calendar in
+  let probe = Mp_service.Probe.create env.calendar in
   Alcotest.check_raises "budget < 1" (Invalid_argument "Blind.schedule: budget < 1") (fun () ->
       ignore (Blind.schedule ~budget:0 ~q:4 ~probe dag))
 
@@ -583,7 +583,7 @@ let test_online_with_events_valid () =
         List.init 2 (fun _ ->
             let start = Rng.int rng 50_000 in
             let dur = 600 + Rng.int rng 5_000 in
-            Reservation.make ~start ~finish:(start + dur) ~procs:(1 + Rng.int rng 3)))
+            Mp_service.Request.Reserve { start; dur; procs = 1 + Rng.int rng 3 }))
   in
   let sched, granted = Online.schedule env ~events dag in
   (* validation base: original calendar plus granted competitors *)
@@ -604,7 +604,7 @@ let test_online_interference_hurts () =
           List.init 4 (fun _ ->
               let start = Rng.int rng 80_000 in
               let dur = 3_600 + Rng.int rng 20_000 in
-              Reservation.make ~start ~finish:(start + dur) ~procs:(1 + Rng.int rng 4)))
+              Mp_service.Request.Reserve { start; dur; procs = 1 + Rng.int rng 4 }))
     in
     total_frozen := !total_frozen + Schedule.turnaround (Ressched.schedule env dag);
     let sched, _ = Online.schedule env ~events dag in

@@ -182,7 +182,8 @@ let test_journal_online_grants () =
   let dag = random_dag 8 10 in
   let events =
     Array.init (Dag.n dag) (fun k ->
-        if k = 1 then [ Reservation.make ~start:5_000 ~finish:6_000 ~procs:2 ] else [])
+        if k = 1 then [ Mp_service.Request.Reserve { start = 5_000; dur = 1_000; procs = 2 } ]
+        else [])
   in
   Journal.reset ();
   let _sched, granted = Journal.with_enabled (fun () -> Online.schedule env ~events dag) in
@@ -269,8 +270,13 @@ let sample_run =
     total_s = 1.5;
     sections =
       [
-        { Baseline.name = "Table 2"; wall_s = 0.5; counters = [ ("calendar.reserve.calls", 100.) ] };
-        { Baseline.name = "Table 4"; wall_s = 1.0; counters = [] };
+        {
+          Baseline.name = "Table 2";
+          wall_s = 0.5;
+          counters = [ ("calendar.reserve.calls", 100.) ];
+          metrics = [ ("requests_per_s", 123.456) ];
+        };
+        { Baseline.name = "Table 4"; wall_s = 1.0; counters = []; metrics = [] };
       ];
   }
 
@@ -284,7 +290,8 @@ let test_baseline_roundtrip () =
       let s = List.hd run.sections in
       Alcotest.(check string) "section name" "Table 2" s.Baseline.name;
       Alcotest.(check (float 1e-6)) "wall" 0.5 s.wall_s;
-      Alcotest.(check (float 1e-6)) "counter" 100. (List.assoc "calendar.reserve.calls" s.counters)
+      Alcotest.(check (float 1e-6)) "counter" 100. (List.assoc "calendar.reserve.calls" s.counters);
+      Alcotest.(check (float 1e-6)) "metric" 123.456 (List.assoc "requests_per_s" s.metrics)
 
 let test_baseline_compare_ok () =
   let v = Baseline.compare ~baseline:sample_run ~current:sample_run () in
@@ -295,8 +302,13 @@ let test_baseline_compare_regressions () =
   let slow =
     with_sections
       [
-        { Baseline.name = "Table 2"; wall_s = 50.; counters = [ ("calendar.reserve.calls", 100.) ] };
-        { Baseline.name = "Table 4"; wall_s = 1.0; counters = [] };
+        {
+          Baseline.name = "Table 2";
+          wall_s = 50.;
+          counters = [ ("calendar.reserve.calls", 100.) ];
+          metrics = [];
+        };
+        { Baseline.name = "Table 4"; wall_s = 1.0; counters = []; metrics = [] };
       ]
   in
   Alcotest.(check bool) "injected slowdown fails" false
@@ -304,8 +316,13 @@ let test_baseline_compare_regressions () =
   let hot =
     with_sections
       [
-        { Baseline.name = "Table 2"; wall_s = 0.5; counters = [ ("calendar.reserve.calls", 200.) ] };
-        { Baseline.name = "Table 4"; wall_s = 1.0; counters = [] };
+        {
+          Baseline.name = "Table 2";
+          wall_s = 0.5;
+          counters = [ ("calendar.reserve.calls", 200.) ];
+          metrics = [];
+        };
+        { Baseline.name = "Table 4"; wall_s = 1.0; counters = []; metrics = [] };
       ]
   in
   Alcotest.(check bool) "counter growth fails" false

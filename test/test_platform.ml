@@ -175,51 +175,6 @@ let test_busy_rectangles_roundtrip () =
       (Calendar.available_at c t) (Calendar.available_at rebuilt t)
   done
 
-(* ------------------------------------------------------------------ *)
-(* Probe *)
-
-let test_probe_grant_and_count () =
-  let p = Probe.create (Calendar.create ~procs:4) in
-  (match Probe.request p ~start:0 ~dur:10 ~procs:4 with
-  | Probe.Granted -> ()
-  | Probe.Rejected _ -> Alcotest.fail "expected grant");
-  Alcotest.(check int) "one probe" 1 (Probe.probes p);
-  Alcotest.(check int) "one granted" 1 (List.length (Probe.granted p));
-  Alcotest.(check int) "hidden calendar updated" 0 (Calendar.available_at (Probe.reveal p) 5)
-
-let test_probe_reject_with_suggestion () =
-  let cal = Calendar.reserve (Calendar.create ~procs:4) (Reservation.make ~start:0 ~finish:100 ~procs:3) in
-  let p = Probe.create cal in
-  (match Probe.request p ~start:0 ~dur:10 ~procs:2 with
-  | Probe.Rejected (Some 100) -> ()
-  | Probe.Rejected s ->
-      Alcotest.failf "wrong suggestion %s"
-        (match s with None -> "none" | Some v -> string_of_int v)
-  | Probe.Granted -> Alcotest.fail "should be rejected");
-  (* following the suggestion succeeds *)
-  match Probe.request p ~start:100 ~dur:10 ~procs:2 with
-  | Probe.Granted -> Alcotest.(check int) "two probes" 2 (Probe.probes p)
-  | Probe.Rejected _ -> Alcotest.fail "suggestion was infeasible"
-
-let test_probe_reject_invalid () =
-  let p = Probe.create (Calendar.create ~procs:4) in
-  (match Probe.request p ~start:(-5) ~dur:10 ~procs:1 with
-  | Probe.Rejected None -> ()
-  | _ -> Alcotest.fail "negative start must be rejected");
-  match Probe.request p ~start:0 ~dur:10 ~procs:5 with
-  | Probe.Rejected None -> ()
-  | _ -> Alcotest.fail "oversize must be rejected outright"
-
-let test_probe_cancel () =
-  let p = Probe.create (Calendar.create ~procs:4) in
-  ignore (Probe.request p ~start:0 ~dur:10 ~procs:4);
-  let r = List.hd (Probe.granted p) in
-  Probe.cancel p r;
-  Alcotest.(check int) "freed" 4 (Calendar.available_at (Probe.reveal p) 5);
-  Alcotest.(check int) "no longer granted" 0 (List.length (Probe.granted p));
-  Alcotest.check_raises "double cancel" (Invalid_argument "Probe.cancel: reservation was not granted")
-    (fun () -> Probe.cancel p r)
-
 let test_busy_series () =
   let c = Calendar.create ~procs:4 in
   let c = Calendar.reserve c (Reservation.make ~start:5 ~finish:15 ~procs:3) in
@@ -603,13 +558,6 @@ let () =
           Alcotest.test_case "basics" `Quick test_grid_basics;
           Alcotest.test_case "invalid" `Quick test_grid_invalid;
           Alcotest.test_case "reserve persistent" `Quick test_grid_reserve_persistent;
-        ] );
-      ( "probe",
-        [
-          Alcotest.test_case "grant and count" `Quick test_probe_grant_and_count;
-          Alcotest.test_case "reject with suggestion" `Quick test_probe_reject_with_suggestion;
-          Alcotest.test_case "reject invalid" `Quick test_probe_reject_invalid;
-          Alcotest.test_case "cancel" `Quick test_probe_cancel;
         ] );
       ("properties", props);
     ]
