@@ -108,6 +108,29 @@ let () =
   let baseline_path, current_path =
     match (!baseline, !current) with Some b, Some c -> (b, c) | _ -> usage ()
   in
+  (* Pre-flight: read the raw [schema] fields before the full decode so a
+     stale baseline fails with one actionable line naming both files
+     instead of a field-level decode error from Baseline.load. *)
+  let raw_schema path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg ->
+        Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+        exit 1
+    | text -> (
+        match Mp_prelude.Json.of_string text with
+        | Error msg ->
+            Printf.eprintf "compare: %s is not JSON: %s\n" path msg;
+            exit 1
+        | Ok json -> Mp_prelude.Json.str json "schema")
+  in
+  (match (raw_schema baseline_path, raw_schema current_path) with
+  | Some b, Some c when b <> c ->
+      Printf.eprintf
+        "compare: schema mismatch: baseline %s is %S but current %s is %S - regenerate \
+         the baseline (see CLAUDE.md)\n"
+        baseline_path b current_path c;
+      exit 1
+  | _ -> ());
   let load what path =
     match Baseline.load path with
     | Ok run -> run
@@ -117,6 +140,20 @@ let () =
   in
   let base = load "baseline" baseline_path in
   let cur = load "current run" current_path in
+  (* Two well-formed runs that share no section can only be a partial
+     (MPRES_BENCH_ONLY) run on one side; comparing them would "pass"
+     vacuously, so refuse instead. *)
+  let names (r : Baseline.run) =
+    List.map (fun (s : Baseline.section) -> s.name) r.sections
+  in
+  (match (names base, names cur) with
+  | (_ :: _ as bn), (_ :: _ as cn) when not (List.exists (fun n -> List.mem n cn) bn) ->
+      Printf.eprintf
+        "compare: %s and %s have no section in common - one of them looks like a \
+         partial MPRES_BENCH_ONLY run; rerun the full bench before comparing\n"
+        baseline_path current_path;
+      exit 1
+  | _ -> ());
   let verdict =
     Baseline.compare ~wall_factor:!wall_factor ~wall_slop:!wall_slop
       ~counter_factor:!counter_factor ~baseline:base ~current:cur ()

@@ -268,14 +268,11 @@ let section ?(counters = true) title f =
         if text <> "" then Printf.printf "[%s: probes]\n%s%!" title text;
         if not counters then []
         else
-          (* The array/map query-path split depends on a cross-domain race
-             (see Calendar's [arrays]), so it is not reproducible and
-             stays out of the baseline; all other counters are
-             deterministic for a given scale. *)
+          (* Every remaining counter — including the index tree's
+             node-visit and descent counts — is deterministic for a given
+             scale/jobs, so all non-zero deltas ride into the baseline. *)
           List.filter_map
-            (fun (k, v) ->
-              if v = 0 || k = "calendar.fit.array_path" || k = "calendar.fit.map_path" then None
-              else Some (k, float_of_int v))
+            (fun (k, v) -> if v = 0 then None else Some (k, float_of_int v))
             delta.Mp_obs.Snapshot.counters
   in
   core_sections :=
@@ -295,6 +292,7 @@ let service_n =
   | "tiny" -> 2_000
   | "standard" -> 20_000
   | "paper" -> 50_000
+  | "huge" -> 10_000
   | _ (* quick *) -> 10_000
 
 (* Nearest-rank percentile of the per-request wall-clock samples. *)
@@ -350,6 +348,162 @@ let bench_service ~pool () =
       ("latency_p50_us", float_of_int p50 /. 1e3);
       ("latency_p99_us", float_of_int p99 /. 1e3);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Calendar index: build 10^4-10^6-reservation calendars through a
+   {!Calendar.Txn} and measure the {!Mp_index} tree counters on a fixed
+   batch of fit queries against the committed snapshot.  The ladder pins
+   the asymptotics: visits per query must grow ~log R across rungs, not
+   ~R.  MPRES_INDEX_ASSERT=1 turns the bound into a hard failure (the CI
+   huge-tier smoke sets it); MPRES_INDEX_MAX_R clamps the ladder so a
+   bounded smoke stays cheap.  Everything is seeded: the per-rung visit
+   counts are deterministic and ride into BENCH_core.json via the
+   section's [index.*] counter deltas when traced. *)
+
+let index_assert = Sys.getenv_opt "MPRES_INDEX_ASSERT" = Some "1"
+
+let index_max_r =
+  match Sys.getenv_opt "MPRES_INDEX_MAX_R" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some r when r >= 1_000 -> Some r
+      | _ ->
+          Printf.eprintf "invalid MPRES_INDEX_MAX_R %S; ignoring\n%!" s;
+          None)
+
+let index_rungs =
+  let base =
+    match scale_name with
+    | "tiny" -> [ 2_000; 8_000; 32_000 ]
+    | "standard" | "paper" -> [ 32_000; 128_000; 512_000 ]
+    | "huge" -> [ 125_000; 500_000; 1_000_000 ]
+    | _ (* quick *) -> [ 8_000; 32_000; 128_000 ]
+  in
+  match index_max_r with
+  | None -> base
+  | Some cap -> List.sort_uniq compare (List.map (fun r -> min r cap) base)
+
+let log2f x = log (float_of_int x) /. log 2.
+
+let bench_index () =
+  let module Calendar = Mp_platform.Calendar in
+  let module Reservation = Mp_platform.Reservation in
+  let q = 64 and n_queries = 2_000 in
+  Printf.printf
+    "calendar index ladder (procs/site %d, %d earliest + %d latest queries per rung%s)\n"
+    q n_queries n_queries
+    (match index_max_r with
+    | Some cap -> Printf.sprintf ", MPRES_INDEX_MAX_R=%d" cap
+    | None -> "");
+  Printf.printf "  %10s %12s %8s %11s %11s %12s %8s\n" "R" "breakpoints" "build[s]"
+    "visits/res" "visits/qry" "queries/s" "fit%";
+  let rows =
+    List.map
+      (fun r_target ->
+        Mp_obs.with_enabled (fun () ->
+            let rng = Mp_prelude.Rng.create (scale.Experiments.seed + r_target) in
+            (* ~60% steady-state utilization: loaded enough that fit
+               walks cross blocked runs, loose enough that the target
+               reservation count is reached without stalling. *)
+            let horizon = 215 * r_target in
+            let visits snap =
+              Option.value ~default:0
+                (List.assoc_opt "index.node_visits" snap.Mp_obs.Snapshot.counters)
+            in
+            let s0 = Mp_obs.Snapshot.take () in
+            let txn = Calendar.Txn.start (Calendar.create ~procs:q) in
+            let t0 = Unix.gettimeofday () in
+            let kept = ref 0 and attempts = ref 0 in
+            while !kept < r_target && !attempts < 3 * r_target do
+              incr attempts;
+              let start = Mp_prelude.Rng.int rng horizon in
+              let dur = 60 + Mp_prelude.Rng.int rng 3541 in
+              let procs = 1 + Mp_prelude.Rng.int rng 8 in
+              if
+                Calendar.Txn.reserve_opt txn
+                  (Reservation.make ~start ~finish:(start + dur) ~procs)
+              then incr kept
+            done;
+            let build_s = Unix.gettimeofday () -. t0 in
+            let s1 = Mp_obs.Snapshot.take () in
+            let committed = Calendar.Txn.commit txn in
+            let fits = ref 0 in
+            let t1 = Unix.gettimeofday () in
+            (* Queries drawn like the reservations themselves (procs well
+               under the steady-state free capacity): each fit resolves
+               within a bounded number of blocked runs regardless of R, so
+               visits/query isolates the per-descent cost.  Asking for
+               procs near capacity instead would make the walk cross O(R)
+               runs — a property of the workload, not of the index. *)
+            for _ = 1 to n_queries do
+              let procs = 1 + Mp_prelude.Rng.int rng 16 in
+              let dur = 60 + Mp_prelude.Rng.int rng 3541 in
+              let after = Mp_prelude.Rng.int rng horizon in
+              (match Calendar.earliest_fit committed ~after ~procs ~dur with
+              | Some _ -> incr fits
+              | None -> ());
+              let finish_by = 1 + Mp_prelude.Rng.int rng horizon in
+              match Calendar.latest_fit committed ~earliest:0 ~finish_by ~procs ~dur with
+              | Some _ -> incr fits
+              | None -> ()
+            done;
+            let query_s = Unix.gettimeofday () -. t1 in
+            let s2 = Mp_obs.Snapshot.take () in
+            let bps = Calendar.breakpoints committed in
+            let vpr = float_of_int (visits s1 - visits s0) /. float_of_int !attempts in
+            let vpq =
+              float_of_int (visits s2 - visits s1) /. float_of_int (2 * n_queries)
+            in
+            let qps =
+              if query_s > 0. then float_of_int (2 * n_queries) /. query_s else 0.
+            in
+            let fit_pct = 100. *. float_of_int !fits /. float_of_int (2 * n_queries) in
+            Printf.printf "  %10d %12d %8.2f %11.1f %11.1f %12.0f %7.1f%%\n%!" !kept bps
+              build_s vpr vpq qps fit_pct;
+            (r_target, !kept, bps, vpq, qps)))
+      index_rungs
+  in
+  set_metrics
+    (List.concat_map
+       (fun (r_target, _, bps, vpq, qps) ->
+         [
+           (Printf.sprintf "r%d_breakpoints" r_target, float_of_int bps);
+           (Printf.sprintf "r%d_visits_per_query" r_target, vpq);
+           (Printf.sprintf "r%d_queries_per_s" r_target, qps);
+         ])
+       rows);
+  (* The log-R pin.  Per rung: visits/query within a constant factor of
+     log2(breakpoints) — a linear walk would exceed this a thousandfold
+     at the top rungs.  Across the ladder: visits may grow at most like
+     the log of the size ratio (with 2x headroom), never like the size
+     ratio itself. *)
+  if index_assert then begin
+    let fail = ref false in
+    List.iter
+      (fun (r_target, _, bps, vpq, _) ->
+        let bound = (8. *. log2f bps) +. 64. in
+        if vpq > bound then begin
+          Printf.eprintf "FAIL index ladder r=%d: visits/query %.1f > bound %.1f (log R ~ %.1f)\n%!"
+            r_target vpq bound (log2f bps);
+          fail := true
+        end)
+      rows;
+    (match (rows, List.rev rows) with
+    | (r0, _, b0, v0, _) :: _, (r1, _, b1, v1, _) :: _ when r0 <> r1 && v0 > 0. ->
+        let growth = v1 /. v0 and log_growth = log2f b1 /. log2f b0 in
+        let bound = 2. *. log_growth in
+        if growth > bound then begin
+          Printf.eprintf
+            "FAIL index ladder: visits/query grew %.2fx from R=%d to R=%d (log bound %.2fx, linear would be %.0fx)\n%!"
+            growth r0 r1 bound
+            (float_of_int b1 /. float_of_int b0);
+          fail := true
+        end
+    | _ -> ());
+    if !fail then exit 1;
+    Printf.printf "  log-R visit bound holds over the ladder (MPRES_INDEX_ASSERT)\n%!"
+  end
 
 let write_core_json total_s =
   let run =
@@ -443,6 +597,7 @@ let () =
           Experiments.print_pareto_ablation ~pool scale);
       section "Ablation: pessimistic estimates" (fun () ->
           Experiments.print_estimate_ablation ~pool scale);
+      section "Calendar index" bench_index;
       section "Service" (fun () -> bench_service ~pool ()));
   Option.iter write_obs_artifacts trace_path;
   let total_s = Unix.gettimeofday () -. total0 in

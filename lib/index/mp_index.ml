@@ -1,0 +1,570 @@
+(* Balanced availability tree: an AVL tree keyed by breakpoint time where
+   every node carries (a) the availability value holding from its
+   breakpoint to the next one, (b) subtree (min, max) summaries of those
+   values, and (c) a lazy "add" tag pending over the whole subtree
+   (including the node's own value).  Reserving subtracts over a key
+   range by path-copying the two boundary paths and tagging the fully
+   covered subtrees between them; fit queries descend guided by the
+   summaries.  Everything is O(log R) per operation.
+
+   Summary convention: for a node [{ v; mn; mx; d; _ }], the value seen
+   from the parent is [v + d], and the subtree extrema seen from the
+   parent are [mn + d] / [mx + d] — i.e. [mn]/[mx] are stored *before*
+   the node's own pending tag.  Query descents carry [acc], the sum of
+   the tags of strict ancestors; update descents [push] tags downward
+   before destructuring. *)
+
+let c_visits = Mp_obs.Counter.make "index.node_visits"
+let c_descents = Mp_obs.Counter.make "index.descents"
+
+let visit () = Mp_obs.Counter.incr c_visits
+let descent () = Mp_obs.Counter.incr c_descents
+
+type tree =
+  | Leaf
+  | Node of {
+      l : tree;
+      key : int;  (** breakpoint time *)
+      v : int;  (** availability on [key, next key), before [d] *)
+      r : tree;
+      h : int;  (** AVL height *)
+      n : int;  (** subtree node count *)
+      mn : int;  (** subtree min value, before [d] *)
+      mx : int;  (** subtree max value, before [d] *)
+      d : int;  (** pending add over the whole subtree, [v] included *)
+    }
+
+type t = { cap : int; root : tree }
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+let size = function Leaf -> 0 | Node { n; _ } -> n
+
+(* Effective subtree extrema as seen from the parent ([acc] = tags of
+   strict ancestors of the *parent*, plus the parent's own tag). *)
+let submin acc = function Leaf -> max_int | Node { mn; d; _ } -> mn + d + acc
+let submax acc = function Leaf -> min_int | Node { mx; d; _ } -> mx + d + acc
+
+(* Smart constructor: recompute aggregates, no pending tag. *)
+let mk l key v r =
+  Node
+    {
+      l;
+      key;
+      v;
+      r;
+      h = 1 + max (height l) (height r);
+      n = 1 + size l + size r;
+      mn = min v (min (submin 0 l) (submin 0 r));
+      mx = max v (max (submax 0 l) (submax 0 r));
+      d = 0;
+    }
+
+let tag dv = function
+  | Leaf -> Leaf
+  | Node nd -> Node { nd with d = nd.d + dv }
+
+(* Fold the pending tag into the node itself and its children's tags, so
+   the returned node has [d = 0] and may be destructured freely. *)
+let push = function
+  | Leaf -> Leaf
+  | Node nd when nd.d = 0 -> Node nd
+  | Node nd ->
+      Node
+        {
+          nd with
+          v = nd.v + nd.d;
+          mn = nd.mn + nd.d;
+          mx = nd.mx + nd.d;
+          l = tag nd.d nd.l;
+          r = tag nd.d nd.r;
+          d = 0;
+        }
+
+(* AVL rebalancing (Stdlib.Map-style, tolerance 2).  Children pulled
+   apart by a rotation are [push]ed first so their tags are not lost. *)
+let bal l key v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 2 then
+    match push l with
+    | Leaf -> assert false
+    | Node { l = ll; key = lk; v = lv; r = lr; _ } ->
+        if height ll >= height lr then mk ll lk lv (mk lr key v r)
+        else (
+          match push lr with
+          | Leaf -> assert false
+          | Node { l = lrl; key = lrk; v = lrv; r = lrr; _ } ->
+              mk (mk ll lk lv lrl) lrk lrv (mk lrr key v r))
+  else if hr > hl + 2 then
+    match push r with
+    | Leaf -> assert false
+    | Node { l = rl; key = rk; v = rv; r = rr; _ } ->
+        if height rr >= height rl then mk (mk l key v rl) rk rv rr
+        else (
+          match push rl with
+          | Leaf -> assert false
+          | Node { l = rll; key = rlk; v = rlv; r = rlr; _ } ->
+              mk (mk l key v rll) rlk rlv (mk rlr rk rv rr))
+  else mk l key v r
+
+(* Insert a breakpoint known to be absent. *)
+let rec insert t key v =
+  match push t with
+  | Leaf -> mk Leaf key v Leaf
+  | Node nd ->
+      visit ();
+      if key < nd.key then bal (insert nd.l key v) nd.key nd.v nd.r
+      else bal nd.l nd.key nd.v (insert nd.r key v)
+
+(* Greatest breakpoint <= time, with its value.  The sentinel at
+   [min_int] guarantees a hit. *)
+let last_le root time =
+  let rec go t acc best =
+    match t with
+    | Leaf -> best
+    | Node { l; key; v; r; d; _ } ->
+        visit ();
+        let acc = acc + d in
+        if key <= time then go r acc (key, v + acc) else go l acc best
+  in
+  go root 0 (min_int, 0)
+
+let value_at root time = snd (last_le root time)
+
+(* Ensure a breakpoint exists at [time] (carrying the value already in
+   force there), so a later range add starts/stops exactly there. *)
+let cut root time =
+  if time = min_int then root
+  else
+    let k, v = last_le root time in
+    if k = time then root else insert root time v
+
+(* Window extrema over breakpoints in [lo, hi) — [max_int]/[min_int] when
+   no breakpoint falls inside.  One-sided variants use the subtree
+   summaries once the range constraint is resolved on that side. *)
+let rec min_from t acc ~lo =
+  match t with
+  | Leaf -> max_int
+  | Node { l; key; v; r; d; _ } ->
+      visit ();
+      let acc = acc + d in
+      if key < lo then min_from r acc ~lo
+      else min (v + acc) (min (min_from l acc ~lo) (submin acc r))
+
+let rec min_below t acc ~hi =
+  match t with
+  | Leaf -> max_int
+  | Node { l; key; v; r; d; _ } ->
+      visit ();
+      let acc = acc + d in
+      if key >= hi then min_below l acc ~hi
+      else min (v + acc) (min (submin acc l) (min_below r acc ~hi))
+
+let rec min_keys t acc ~lo ~hi =
+  match t with
+  | Leaf -> max_int
+  | Node { l; key; v; r; d; _ } ->
+      visit ();
+      let acc = acc + d in
+      if key < lo then min_keys r acc ~lo ~hi
+      else if key >= hi then min_keys l acc ~lo ~hi
+      else min (v + acc) (min (min_from l acc ~lo) (min_below r acc ~hi))
+
+let rec max_from t acc ~lo =
+  match t with
+  | Leaf -> min_int
+  | Node { l; key; v; r; d; _ } ->
+      visit ();
+      let acc = acc + d in
+      if key < lo then max_from r acc ~lo
+      else max (v + acc) (max (max_from l acc ~lo) (submax acc r))
+
+let rec max_below t acc ~hi =
+  match t with
+  | Leaf -> min_int
+  | Node { l; key; v; r; d; _ } ->
+      visit ();
+      let acc = acc + d in
+      if key >= hi then max_below l acc ~hi
+      else max (v + acc) (max (submax acc l) (max_below r acc ~hi))
+
+let rec max_keys t acc ~lo ~hi =
+  match t with
+  | Leaf -> min_int
+  | Node { l; key; v; r; d; _ } ->
+      visit ();
+      let acc = acc + d in
+      if key < lo then max_keys r acc ~lo ~hi
+      else if key >= hi then max_keys l acc ~lo ~hi
+      else max (v + acc) (max (max_from l acc ~lo) (max_below r acc ~hi))
+
+(* Smallest breakpoint > after with value >= procs; the [mx] summary
+   prunes subtrees that are blocked throughout. *)
+let rec first_clear_after t acc ~after ~procs =
+  match t with
+  | Leaf -> None
+  | Node { l; key; v; r; mx; d; _ } ->
+      visit ();
+      if mx + d + acc < procs then None
+      else
+        let acc = acc + d in
+        if key <= after then first_clear_after r acc ~after ~procs
+        else (
+          match first_clear_after l acc ~after ~procs with
+          | Some _ as s -> s
+          | None ->
+              if v + acc >= procs then Some key
+              else first_clear_after r acc ~after ~procs)
+
+(* Smallest breakpoint in [lo, hi) with value < procs; [mn] prunes
+   subtrees that are clear throughout. *)
+let rec first_block_in t acc ~lo ~hi ~procs =
+  match t with
+  | Leaf -> None
+  | Node { l; key; v; r; mn; d; _ } ->
+      visit ();
+      if mn + d + acc >= procs then None
+      else
+        let acc = acc + d in
+        if key < lo then first_block_in r acc ~lo ~hi ~procs
+        else if key >= hi then first_block_in l acc ~lo ~hi ~procs
+        else (
+          match first_block_in l acc ~lo ~hi ~procs with
+          | Some _ as s -> s
+          | None ->
+              if v + acc < procs then Some key
+              else first_block_in r acc ~lo ~hi ~procs)
+
+(* Greatest breakpoint < hi with value < procs. *)
+let rec last_block_below t acc ~hi ~procs =
+  match t with
+  | Leaf -> None
+  | Node { l; key; v; r; mn; d; _ } ->
+      visit ();
+      if mn + d + acc >= procs then None
+      else
+        let acc = acc + d in
+        if key >= hi then last_block_below l acc ~hi ~procs
+        else (
+          match last_block_below r acc ~hi ~procs with
+          | Some _ as s -> s
+          | None ->
+              if v + acc < procs then Some key
+              else last_block_below l acc ~hi ~procs)
+
+(* Greatest breakpoint < hi with value >= procs. *)
+let rec last_clear_below t acc ~hi ~procs =
+  match t with
+  | Leaf -> None
+  | Node { l; key; v; r; mx; d; _ } ->
+      visit ();
+      if mx + d + acc < procs then None
+      else
+        let acc = acc + d in
+        if key >= hi then last_clear_below l acc ~hi ~procs
+        else (
+          match last_clear_below r acc ~hi ~procs with
+          | Some _ as s -> s
+          | None ->
+              if v + acc >= procs then Some key
+              else last_clear_below l acc ~hi ~procs)
+
+(* Smallest breakpoint > after (plain successor, no value constraint). *)
+let succ_key root ~after =
+  let rec go t best =
+    match t with
+    | Leaf -> best
+    | Node { l; key; r; _ } ->
+        visit ();
+        if key <= after then go r best else go l (Some key)
+  in
+  go root None
+
+(* Add [dv] to every breakpoint value in a key range.  The tree structure
+   is unchanged (no insertion, no rebalancing): the two boundary paths
+   are copied with updated aggregates and the covered subtrees hanging
+   off them are tagged. *)
+let rec add_from t ~lo dv =
+  match push t with
+  | Leaf -> Leaf
+  | Node nd ->
+      visit ();
+      if nd.key < lo then mk nd.l nd.key nd.v (add_from nd.r ~lo dv)
+      else mk (add_from nd.l ~lo dv) nd.key (nd.v + dv) (tag dv nd.r)
+
+let rec add_below t ~hi dv =
+  match push t with
+  | Leaf -> Leaf
+  | Node nd ->
+      visit ();
+      if nd.key >= hi then mk (add_below nd.l ~hi dv) nd.key nd.v nd.r
+      else mk (tag dv nd.l) nd.key (nd.v + dv) (add_below nd.r ~hi dv)
+
+let rec add_range t ~lo ~hi dv =
+  match push t with
+  | Leaf -> Leaf
+  | Node nd ->
+      visit ();
+      if nd.key < lo then mk nd.l nd.key nd.v (add_range nd.r ~lo ~hi dv)
+      else if nd.key >= hi then mk (add_range nd.l ~lo ~hi dv) nd.key nd.v nd.r
+      else mk (add_from nd.l ~lo dv) nd.key (nd.v + dv) (add_below nd.r ~hi dv)
+
+(* ------------------------------------------------------------------ *)
+(* Public persistent API                                              *)
+(* ------------------------------------------------------------------ *)
+
+let create ~procs =
+  if procs <= 0 then invalid_arg "Mp_index.create: procs <= 0";
+  { cap = procs; root = mk Leaf min_int procs Leaf }
+
+let capacity t = t.cap
+let breakpoints t = size t.root
+
+let available_at t time =
+  descent ();
+  value_at t.root time
+
+let min_in t ~from_ ~until =
+  descent ();
+  min (value_at t.root from_) (min_keys t.root 0 ~lo:(from_ + 1) ~hi:until)
+
+let max_in t ~from_ ~until =
+  descent ();
+  max (value_at t.root from_) (max_keys t.root 0 ~lo:(from_ + 1) ~hi:until)
+
+let check_window ~op ~start ~finish ~procs =
+  if start >= finish then invalid_arg (op ^ ": start >= finish");
+  if procs < 1 then invalid_arg (op ^ ": procs < 1")
+
+let root_can_reserve root ~start ~finish ~procs =
+  procs <= min (value_at root start) (min_keys root 0 ~lo:(start + 1) ~hi:finish)
+
+let can_reserve t ~start ~finish ~procs =
+  check_window ~op:"Mp_index.can_reserve" ~start ~finish ~procs;
+  descent ();
+  root_can_reserve t.root ~start ~finish ~procs
+
+let root_reserve root ~start ~finish ~procs =
+  if root_can_reserve root ~start ~finish ~procs then
+    Some (add_range (cut (cut root start) finish) ~lo:start ~hi:finish (-procs))
+  else None
+
+let reserve t ~start ~finish ~procs =
+  check_window ~op:"Mp_index.reserve" ~start ~finish ~procs;
+  descent ();
+  match root_reserve t.root ~start ~finish ~procs with
+  | Some root -> Some { t with root }
+  | None -> None
+
+let root_release root ~cap ~start ~finish ~procs =
+  let mx =
+    max (value_at root start) (max_keys root 0 ~lo:(start + 1) ~hi:finish)
+  in
+  if mx + procs > cap then None
+  else Some (add_range (cut (cut root start) finish) ~lo:start ~hi:finish procs)
+
+let release t ~start ~finish ~procs =
+  check_window ~op:"Mp_index.release" ~start ~finish ~procs;
+  descent ();
+  match root_release t.root ~cap:t.cap ~start ~finish ~procs with
+  | Some root -> Some { t with root }
+  | None -> None
+
+(* Earliest fit.  Candidate starts are [after] and the clear breakpoints
+   after it (the minimal feasible start is always one of these: sliding
+   any other feasible start one second earlier stays feasible).  A
+   candidate fails on the first blocking breakpoint inside its window;
+   every candidate up to that blocker is blocked too, so the walk
+   restarts at the first clear breakpoint past it. *)
+let root_earliest_fit root ~limit ~after ~procs ~dur =
+  let rec attempt s =
+    if s > limit then None
+    else if value_at root s < procs then jump s
+    else
+      match first_block_in root 0 ~lo:(s + 1) ~hi:(s + dur) ~procs with
+      | None -> Some s
+      | Some b -> jump b
+  and jump from_ =
+    match first_clear_after root 0 ~after:from_ ~procs with
+    | None -> None
+    | Some k -> attempt k
+  in
+  attempt after
+
+let earliest_fit ?(limit = max_int) t ~after ~procs ~dur =
+  if procs < 1 then invalid_arg "Mp_index.earliest_fit: procs < 1";
+  if dur < 1 then invalid_arg "Mp_index.earliest_fit: dur < 1";
+  descent ();
+  if procs > t.cap then None
+  else root_earliest_fit t.root ~limit ~after ~procs ~dur
+
+(* Latest fit.  For a window ending at [fl], the only blocking
+   breakpoints that matter are those < fl; if the greatest one is at or
+   before the window start and the start's own segment is clear, the
+   window fits.  Otherwise the whole blocked run containing that blocker
+   must be cleared: the next window to try ends at the run's first
+   breakpoint (the successor of the last clear breakpoint below it). *)
+let root_latest_fit root ~earliest ~finish_by ~procs ~dur =
+  let rec go fl =
+    let s = fl - dur in
+    if s < earliest then None
+    else
+      match last_block_below root 0 ~hi:fl ~procs with
+      | None -> Some s
+      | Some b ->
+          if b <= s && value_at root s >= procs then Some s
+          else (
+            match last_clear_below root 0 ~hi:b ~procs with
+            | None -> None
+            | Some c -> (
+                match succ_key root ~after:c with
+                | None -> None
+                | Some k -> go k))
+  in
+  go finish_by
+
+let latest_fit t ~earliest ~finish_by ~procs ~dur =
+  if procs < 1 then invalid_arg "Mp_index.latest_fit: procs < 1";
+  if dur < 1 then invalid_arg "Mp_index.latest_fit: dur < 1";
+  descent ();
+  if procs > t.cap then None
+  else root_latest_fit t.root ~earliest ~finish_by ~procs ~dur
+
+let fold_segments t ~from_ ~until ~init ~f =
+  if from_ >= until then init
+  else begin
+    let v0 = value_at t.root from_ in
+    (* In-order over breakpoints in (from_, until); each one closes the
+       running segment and opens the next. *)
+    let rec walk tree acc ((st : 'a * int * int) as state) =
+      match tree with
+      | Leaf -> state
+      | Node { l; key; v; r; d; _ } ->
+          let acc = acc + d in
+          if key <= from_ then walk r acc state
+          else if key >= until then walk l acc state
+          else begin
+            let a, seg_start, seg_val = walk l acc st in
+            let a = f a ~start:seg_start ~finish:key ~avail:seg_val in
+            walk r acc (a, key, v + acc)
+          end
+    in
+    let a, seg_start, seg_val = walk t.root 0 (init, from_, v0) in
+    f a ~start:seg_start ~finish:until ~avail:seg_val
+  end
+
+let iter_breakpoints t g =
+  let rec go tree acc =
+    match tree with
+    | Leaf -> ()
+    | Node { l; key; v; r; d; _ } ->
+        let acc = acc + d in
+        go l acc;
+        g key (v + acc);
+        go r acc
+  in
+  go t.root 0
+
+let self_check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Recompute height/size/extrema bottom-up with tags resolved; collect
+     keys in order. *)
+  let rec chk tree acc =
+    match tree with
+    | Leaf -> (0, 0, max_int, min_int, [])
+    | Node { l; key; v; r; h; n; mn; mx; d } ->
+        let acc = acc + d in
+        let lh, ln, lmn, lmx, lks = chk l acc in
+        let rh, rn, rmn, rmx, rks = chk r acc in
+        if h <> 1 + max lh rh then
+          fail "Mp_index.self_check: height %d at key %d (want %d)" h key
+            (1 + max lh rh);
+        if abs (lh - rh) > 2 then
+          fail "Mp_index.self_check: imbalance %d at key %d" (lh - rh) key;
+        if n <> 1 + ln + rn then
+          fail "Mp_index.self_check: size %d at key %d (want %d)" n key
+            (1 + ln + rn);
+        let emn = min (v + acc) (min lmn rmn)
+        and emx = max (v + acc) (max lmx rmx) in
+        if mn + acc <> emn then
+          fail "Mp_index.self_check: min summary %d at key %d (want %d)"
+            (mn + acc) key emn;
+        if mx + acc <> emx then
+          fail "Mp_index.self_check: max summary %d at key %d (want %d)"
+            (mx + acc) key emx;
+        (h, n, emn, emx, lks @ (key :: rks))
+  in
+  let _, _, emn, emx, keys = chk t.root 0 in
+  (match keys with
+  | k0 :: _ when k0 = min_int -> ()
+  | _ -> fail "Mp_index.self_check: missing min_int sentinel");
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then fail "Mp_index.self_check: key order %d >= %d" a b;
+        sorted rest
+    | _ -> ()
+  in
+  sorted keys;
+  if emn < 0 then fail "Mp_index.self_check: negative availability %d" emn;
+  if emx > t.cap then
+    fail "Mp_index.self_check: availability %d above capacity %d" emx t.cap
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Txn = struct
+  type index = t
+  type t = { cap : int; mutable root : tree; mutable gen : int }
+
+  let start (i : index) = { cap = i.cap; root = i.root; gen = 0 }
+  let commit (t : t) : index = { cap = t.cap; root = t.root }
+  let capacity t = t.cap
+  let generation t = t.gen
+
+  let available_at t time =
+    descent ();
+    value_at t.root time
+
+  let min_in t ~from_ ~until =
+    descent ();
+    min (value_at t.root from_) (min_keys t.root 0 ~lo:(from_ + 1) ~hi:until)
+
+  let can_reserve t ~start ~finish ~procs =
+    check_window ~op:"Mp_index.Txn.can_reserve" ~start ~finish ~procs;
+    descent ();
+    root_can_reserve t.root ~start ~finish ~procs
+
+  let reserve t ~start ~finish ~procs =
+    check_window ~op:"Mp_index.Txn.reserve" ~start ~finish ~procs;
+    descent ();
+    match root_reserve t.root ~start ~finish ~procs with
+    | Some root ->
+        t.root <- root;
+        t.gen <- t.gen + 1;
+        true
+    | None -> false
+
+  let release t ~start ~finish ~procs =
+    check_window ~op:"Mp_index.Txn.release" ~start ~finish ~procs;
+    descent ();
+    match root_release t.root ~cap:t.cap ~start ~finish ~procs with
+    | Some root ->
+        t.root <- root;
+        t.gen <- t.gen + 1;
+        true
+    | None -> false
+
+  let earliest_fit ?(limit = max_int) t ~after ~procs ~dur =
+    if procs < 1 then invalid_arg "Mp_index.Txn.earliest_fit: procs < 1";
+    if dur < 1 then invalid_arg "Mp_index.Txn.earliest_fit: dur < 1";
+    descent ();
+    if procs > t.cap then None
+    else root_earliest_fit t.root ~limit ~after ~procs ~dur
+
+  let latest_fit t ~earliest ~finish_by ~procs ~dur =
+    if procs < 1 then invalid_arg "Mp_index.Txn.latest_fit: procs < 1";
+    if dur < 1 then invalid_arg "Mp_index.Txn.latest_fit: dur < 1";
+    descent ();
+    if procs > t.cap then None
+    else root_latest_fit t.root ~earliest ~finish_by ~procs ~dur
+end

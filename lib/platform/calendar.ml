@@ -1,173 +1,45 @@
-module Imap = Map.Make (Int)
+(* The calendar is a thin policy layer over {!Mp_index}: the index owns
+   the step-function representation (a balanced breakpoint tree with
+   hierarchical (min, max) availability summaries and lazy range-add
+   tags — see lib/index/mp_index.ml and "Calendar index" in DESIGN.md),
+   while this module owns the reservation-level contract: the
+   [Overcommitted] exception, argument validation messages, and the
+   derived views (segments, busy profile, series).
+
+   Every operation the schedulers lean on — [reserve], [release],
+   [earliest_fit], [latest_fit], point lookups, window minima — is
+   O(log R) in the number of breakpoints, both on the persistent form
+   and inside a {!Txn}.  All of them are output-preserving with respect
+   to a brute-force walk of the step function (pinned by the qcheck
+   reference model in test/test_platform.ml and test/test_index.ml). *)
+
+module Index = Mp_index
 
 (* Observability probes (single branch, no allocation when Mp_obs is
-   disabled): call counts and latency of the fit queries — the hot path —
-   plus which query path (array vs map) answered. *)
+   disabled): call counts and latency of the fit queries — the hot
+   path — plus [reserve].  Tree-level work (descents, node visits) is
+   counted by {!Mp_index} under ["index.*"]. *)
 let c_earliest_fit = Mp_obs.Counter.make "calendar.earliest_fit.calls"
 let c_latest_fit = Mp_obs.Counter.make "calendar.latest_fit.calls"
 let c_reserve = Mp_obs.Counter.make "calendar.reserve.calls"
-let c_array_path = Mp_obs.Counter.make "calendar.fit.array_path"
-let c_map_path = Mp_obs.Counter.make "calendar.fit.map_path"
 let t_earliest_fit = Mp_obs.Timer.make "calendar.earliest_fit"
 let t_latest_fit = Mp_obs.Timer.make "calendar.latest_fit"
 let t_reserve = Mp_obs.Timer.make "calendar.reserve"
 
-(* [steps] maps a breakpoint time to the number of available processors
-   from that time (inclusive) until the next breakpoint.  Invariants:
-   - there is always a breakpoint at [min_int] (so lookups never miss);
-   - values lie in [0, procs];
-   - the value of the last breakpoint extends to +infinity.
-
-   [bps] is a lazily materialized array view of [steps] (times and values
-   in ascending order).  The fit queries are the hot path of the
-   scheduling algorithms — hundreds of calls against the same calendar
-   version — and scanning a flat array is an order of magnitude cheaper
-   than walking the map.  But bulk construction (the batch simulator
-   reserves tens of thousands of jobs, querying each version exactly
-   once) must not rebuild an O(R) array per version, so the array is only
-   materialized once a version has answered a few queries; before that,
-   queries walk the map.
-
-   [bmax] / [bmin] are block-maximum / block-minimum indexes over [vs]
-   ([bmax.(b)] = max of block [b] of [bsize] consecutive segments, [bmin]
-   the min): when a fit walk lands on a block whose maximum availability
-   is below the requested processor count, every segment of the block is
-   blocked and the walk skips the whole block; dually, a block whose
-   minimum clears the request is uniformly free and the window scans step
-   over it whole.  Both skips are exact, and together they turn the long
-   uniform runs of a loaded calendar from [bsize] steps into one. *)
-type view = { ts : int array; vs : int array; bmax : int array; bmin : int array }
-
-type t = {
-  procs : int;
-  steps : int Imap.t;
-  bps : view Lazy.t;
-  mutable queries : int;
-}
+type t = { procs : int; idx : Index.t }
 
 exception Overcommitted of Reservation.t
 
-let force_threshold = 3
-let bsize = 8
-
-(* Recompute [bmax] / [bmin] exactly for blocks [from_block .. to_block]
-   of the first [n] entries of [vs] (the arrays may carry capacity slack
-   past [n]). *)
-let refresh_blocks bmax bmin vs n ~from_block ~to_block =
-  for b = from_block to to_block do
-    let hi = min n ((b + 1) * bsize) - 1 in
-    let mx = ref vs.(b * bsize) and mn = ref vs.(b * bsize) in
-    for j = (b * bsize) + 1 to hi do
-      let v = vs.(j) in
-      if v > !mx then mx := v;
-      if v < !mn then mn := v
-    done;
-    bmax.(b) <- !mx;
-    bmin.(b) <- !mn
-  done
-
-let view_of_arrays (ts, vs) =
-  let n = Array.length ts in
-  let nb = (n + bsize - 1) / bsize in
-  let bmax = Array.make nb 0 and bmin = Array.make nb 0 in
-  refresh_blocks bmax bmin vs n ~from_block:0 ~to_block:(nb - 1);
-  { ts; vs; bmax; bmin }
-
-let mk ?view procs steps =
-  {
-    procs;
-    steps;
-    queries = 0;
-    bps =
-      (match view with
-      | Some v -> Lazy.from_val v
-      | None ->
-          lazy
-            (let n = Imap.cardinal steps in
-             let ts = Array.make n 0 and vs = Array.make n 0 in
-             let i = ref 0 in
-             Imap.iter
-               (fun time v ->
-                 ts.(!i) <- time;
-                 vs.(!i) <- v;
-                 incr i)
-               steps;
-             view_of_arrays (ts, vs)));
-  }
-
-(* The array view, if this calendar version is hot enough to warrant it.
-   A calendar shared across worker domains can see two domains force
-   [bps] at once, which raises [Lazy.Undefined] in the domain that loses
-   the race (OCaml 5 lazy semantics); the loser answers from the map this
-   once — both paths return identical results (pinned by the qcheck
-   properties in test_platform.ml), so this changes no scheduler output. *)
-let arrays t =
-  if Lazy.is_val t.bps then Some (Lazy.force t.bps)
-  else begin
-    t.queries <- t.queries + 1;
-    if t.queries > force_threshold then
-      match Lazy.force t.bps with
-      | v -> Some v
-      | exception Lazy.Undefined -> None
-    else None
-  end
-
 let create ~procs =
   if procs <= 0 then invalid_arg "Calendar.create: procs <= 0";
-  mk procs (Imap.singleton min_int procs)
+  { procs; idx = Index.create ~procs }
 
 let procs t = t.procs
-let breakpoints t = Imap.cardinal t.steps
+let breakpoints t = Index.breakpoints t.idx
+let available_at t time = Index.available_at t.idx time
 
-(* Index of the segment containing [time] among the first [n] entries:
-   greatest i with ts.(i) <= time.  Always defined thanks to the min_int
-   sentinel.  ([n] is passed explicitly because a {!Txn} keeps capacity
-   slack past its logical length.) *)
-let seg_index_n ts n time =
-  let lo = ref 0 and hi = ref (n - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi + 1) / 2 in
-    if ts.(mid) <= time then lo := mid else hi := mid - 1
-  done;
-  !lo
-
-let seg_index ts time = seg_index_n ts (Array.length ts) time
-
-let value_before_or_at steps time =
-  match Imap.find_last (fun k -> k <= time) steps with
-  | _, v -> v
-  | exception Not_found -> assert false (* min_int breakpoint always present *)
-
-let available_at t time =
-  match arrays t with
-  | Some { ts; vs; _ } -> vs.(seg_index ts time)
-  | None -> value_before_or_at t.steps time
-
-(* Ensure a breakpoint exists exactly at [time] (same value as the segment
-   containing it), so that a following range update can stop cleanly. *)
-let cut steps time =
-  if time = min_int || Imap.mem time steps then steps
-  else Imap.add time (value_before_or_at steps time) steps
-
-(* Map-based fold: never forces the array (used by construction-time
-   checks). *)
 let fold_segments t ~from_ ~until ~init ~f =
-  if from_ >= until then init
-  else begin
-    let v0 = value_before_or_at t.steps from_ in
-    let seq = Imap.to_seq_from (from_ + 1) t.steps in
-    let rec go acc seg_start seg_val seq =
-      match seq () with
-      | Seq.Nil -> f acc ~start:seg_start ~finish:until ~avail:seg_val
-      | Seq.Cons ((time, v), rest) ->
-          if time >= until then f acc ~start:seg_start ~finish:until ~avail:seg_val
-          else begin
-            let acc = f acc ~start:seg_start ~finish:time ~avail:seg_val in
-            go acc time v rest
-          end
-    in
-    go init from_ v0 seq
-  end
+  Index.fold_segments t.idx ~from_ ~until ~init ~f
 
 let segments t ~from_ ~until =
   List.rev
@@ -176,8 +48,7 @@ let segments t ~from_ ~until =
 
 let min_available t ~from_ ~until =
   if from_ >= until then invalid_arg "Calendar.min_available: empty window";
-  fold_segments t ~from_ ~until ~init:t.procs ~f:(fun acc ~start:_ ~finish:_ ~avail ->
-      min acc avail)
+  Index.min_in t.idx ~from_ ~until
 
 let average_available t ~from_ ~until =
   if from_ >= until then invalid_arg "Calendar.average_available: empty window";
@@ -188,170 +59,24 @@ let average_available t ~from_ ~until =
   total /. float_of_int (until - from_)
 
 let can_reserve t (r : Reservation.t) =
-  r.procs <= min_available t ~from_:r.start ~until:r.finish
-
-(* Breakpoints of [steps] within [start, finish), as (time, value) pairs in
-   descending order. *)
-let affected_breakpoints steps ~start ~finish =
-  let rec collect acc seq =
-    match seq () with
-    | Seq.Nil -> acc
-    | Seq.Cons ((time, v), rest) -> if time >= finish then acc else collect ((time, v) :: acc) rest
-  in
-  collect [] (Imap.to_seq_from start steps)
-
-(* Successor arrays of [reserve r] built by patching the parent's
-   materialized arrays: a breakpoint is inserted at [r.start] / [r.finish]
-   when missing (same value as its enclosing segment, mirroring [cut]) and
-   [r.procs] is subtracted from every breakpoint in [r.start, r.finish).
-   Equal, entry for entry, to materializing the successor's map — pinned
-   against the map path by the qcheck properties in test_platform.ml. *)
-let patch_view { ts; vs; _ } (r : Reservation.t) =
-  let n = Array.length ts in
-  let i0 = seg_index ts r.start in
-  let ins_start = ts.(i0) <> r.start in
-  let i1 = seg_index ts r.finish in
-  let ins_fin = ts.(i1) <> r.finish in
-  let n' = n + (if ins_start then 1 else 0) + (if ins_fin then 1 else 0) in
-  let ts' = Array.make n' 0 and vs' = Array.make n' 0 in
-  Array.blit ts 0 ts' 0 (i0 + 1);
-  Array.blit vs 0 vs' 0 (i0 + 1);
-  let w = ref (i0 + 1) in
-  if ins_start then begin
-    ts'.(!w) <- r.start;
-    vs'.(!w) <- vs.(i0);
-    incr w
-  end;
-  Array.blit ts (i0 + 1) ts' !w (i1 - i0);
-  Array.blit vs (i0 + 1) vs' !w (i1 - i0);
-  w := !w + (i1 - i0);
-  if ins_fin then begin
-    ts'.(!w) <- r.finish;
-    vs'.(!w) <- vs.(i1);
-    incr w
-  end;
-  Array.blit ts (i1 + 1) ts' !w (n - i1 - 1);
-  Array.blit vs (i1 + 1) vs' !w (n - i1 - 1);
-  let j = ref (if ins_start then i0 + 1 else i0) in
-  while !j < n' && ts'.(!j) < r.finish do
-    vs'.(!j) <- vs'.(!j) - r.procs;
-    incr j
-  done;
-  view_of_arrays (ts', vs')
+  Index.can_reserve t.idx ~start:r.start ~finish:r.finish ~procs:r.procs
 
 let reserve t (r : Reservation.t) =
   Mp_obs.Counter.incr c_reserve;
   let t0 = Mp_obs.Timer.start () in
-  if not (can_reserve t r) then raise (Overcommitted r);
-  let steps = cut (cut t.steps r.start) r.finish in
-  (* Only breakpoints inside [start, finish) change, so touch just those
-     (a calendar holds thousands of breakpoints; a reservation overlaps a
-     handful). *)
-  let affected = affected_breakpoints steps ~start:r.start ~finish:r.finish in
-  let steps =
-    List.fold_left (fun m (time, v) -> Imap.add time (v - r.procs) m) steps affected
-  in
-  (* When this version already paid for its array view, hand the successor
-     a patched copy instead of making it re-materialize O(R) from the map
-     on its next hot query: reserve-then-query chains (every backward /
-     list-scheduling pass) stay on the array path throughout. *)
-  let view = if Lazy.is_val t.bps then Some (patch_view (Lazy.force t.bps) r) else None in
-  let t' = mk ?view t.procs steps in
-  Mp_obs.Timer.stop t_reserve t0;
-  t'
+  match Index.reserve t.idx ~start:r.start ~finish:r.finish ~procs:r.procs with
+  | None -> raise (Overcommitted r)
+  | Some idx ->
+      let t' = { t with idx } in
+      Mp_obs.Timer.stop t_reserve t0;
+      t'
 
 let reserve_opt t r = if can_reserve t r then Some (reserve t r) else None
 
 let release t (r : Reservation.t) =
-  (* Inverse of [reserve]: only valid for a reservation previously
-     subtracted, which the capacity check enforces. *)
-  let steps = cut (cut t.steps r.start) r.finish in
-  let affected = affected_breakpoints steps ~start:r.start ~finish:r.finish in
-  List.iter
-    (fun (_, v) ->
-      if v + r.procs > t.procs then
-        invalid_arg "Calendar.release: reservation was not held on this calendar")
-    affected;
-  let steps =
-    List.fold_left (fun m (time, v) -> Imap.add time (v + r.procs) m) steps affected
-  in
-  mk t.procs steps
-
-(* --- earliest_fit ----------------------------------------------------- *)
-
-(* Candidate starts only need to be considered at [after] and at segment
-   boundaries where availability rises; on failure the candidate jumps past
-   the blocking breakpoint, so the scan visits each breakpoint at most
-   once: O(R). *)
-
-(* The walk over the first [n] entries of the arrays, shared by the
-   persistent array path ([n] = full length) and {!Txn} ([n] = logical
-   length).  From segment index [i] with candidate start [s] (s inside
-   segment i), either the window [s, s+dur) is clear, or restart past the
-   first blocking segment; the forward search for that restart point skips
-   a whole block at once when its maximum availability is below [procs]
-   (every segment of the block blocks, so none can host the restart). *)
-let earliest_fit_walk ts vs bmax bmin n ~after ~limit ~procs ~dur =
-  let rec attempt i s =
-    if s > limit then None
-    else if vs.(i) < procs then begin
-      let rec next j =
-        if j >= n then None
-        else if bmax.(j / bsize) < procs then next (((j / bsize) + 1) * bsize)
-        else if vs.(j) >= procs then Some j
-        else next (j + 1)
-      in
-      match next (i + 1) with None -> None | Some j -> attempt j ts.(j)
-    end
-    else begin
-      let limit = s + dur in
-      (* A uniformly free block passes the window check whole: every
-         segment in it would take the [scan (j + 1)] branch, and if the
-         jump overshoots an index with [ts.(j) >= limit] the landing
-         check returns the same [Some s]. *)
-      let rec scan j =
-        if j >= n || ts.(j) >= limit then Some s
-        else if bmin.(j / bsize) >= procs then scan (((j / bsize) + 1) * bsize)
-        else if vs.(j) < procs then attempt j ts.(j)
-        else scan (j + 1)
-      in
-      scan (i + 1)
-    end
-  in
-  attempt (seg_index_n ts n after) after
-
-let earliest_fit_arrays { ts; vs; bmax; bmin } ~after ~procs ~dur =
-  earliest_fit_walk ts vs bmax bmin (Array.length ts) ~after ~limit:max_int ~procs ~dur
-
-let earliest_fit_map steps ~after ~procs ~dur =
-  (* Smallest time >= s with availability >= procs; None if availability
-     stays below procs through the final, unbounded segment. *)
-  let next_clear s =
-    if value_before_or_at steps s >= procs then Some s
-    else begin
-      let rec go seq =
-        match seq () with
-        | Seq.Nil -> None
-        | Seq.Cons ((time, v), rest) -> if v >= procs then Some time else go rest
-      in
-      go (Imap.to_seq_from (s + 1) steps)
-    end
-  in
-  let first_block s limit =
-    let rec go seq =
-      match seq () with
-      | Seq.Nil -> None
-      | Seq.Cons ((time, v), rest) ->
-          if time >= limit then None else if v < procs then Some time else go rest
-    in
-    go (Imap.to_seq_from (s + 1) steps)
-  in
-  let rec search s =
-    match next_clear s with
-    | None -> None
-    | Some s -> ( match first_block s (s + dur) with None -> Some s | Some b -> search b)
-  in
-  search after
+  match Index.release t.idx ~start:r.start ~finish:r.finish ~procs:r.procs with
+  | Some idx -> { t with idx }
+  | None -> invalid_arg "Calendar.release: reservation was not held on this calendar"
 
 let earliest_fit t ~after ~procs ~dur =
   if procs < 1 then invalid_arg "Calendar.earliest_fit: procs < 1";
@@ -359,89 +84,10 @@ let earliest_fit t ~after ~procs ~dur =
   Mp_obs.Counter.incr c_earliest_fit;
   let t0 = Mp_obs.Timer.start () in
   let r =
-    if procs > t.procs then None
-    else begin
-      match arrays t with
-      | Some arr ->
-          Mp_obs.Counter.incr c_array_path;
-          earliest_fit_arrays arr ~after ~procs ~dur
-      | None ->
-          Mp_obs.Counter.incr c_map_path;
-          earliest_fit_map t.steps ~after ~procs ~dur
-    end
+    if procs > t.procs then None else Index.earliest_fit t.idx ~after ~procs ~dur
   in
   Mp_obs.Timer.stop t_earliest_fit t0;
   r
-
-(* --- latest_fit ------------------------------------------------------- *)
-
-(* Scan segments backward from the one containing [finish_by - 1],
-   maintaining [finish_limit], the latest possible window end given the
-   blocked segments seen so far; the invariant is that
-   [ts.(i+1), finish_limit) is clear.  A blocked segment whose whole block
-   is blocked jumps straight to the previous block with [finish_limit] set
-   to the block's first breakpoint — exactly where the one-segment-at-a-
-   time walk would have arrived (every skipped step only lowers
-   [finish_limit], and the early exit on [finish_limit - dur < earliest]
-   is monotone in it, so the outcome is unchanged). *)
-let latest_fit_walk_from ts vs bmax bmin ~start_index ~finish_limit ~earliest ~procs ~dur =
-  let rec scan i finish_limit =
-    if finish_limit - dur < earliest then None
-    else if vs.(i) >= procs then begin
-      let s = finish_limit - dur in
-      if s >= ts.(i) then Some s
-      else if i = 0 then Some s
-      else begin
-        (* A uniformly free block: the stepwise walk would cross it with
-           [finish_limit] unchanged, stopping inside only to answer
-           [Some s] at the segment containing [s] (the block's first
-           breakpoint is at most [s] exactly when that segment is in this
-           block — [ts.(0)] is the [min_int] sentinel, so block 0 always
-           is). *)
-        let b = i / bsize in
-        if bmin.(b) >= procs then
-          if s >= ts.(b * bsize) then Some s
-          else scan ((b * bsize) - 1) finish_limit
-        else scan (i - 1) finish_limit
-      end
-    end
-    else begin
-      let b = i / bsize in
-      if bmax.(b) < procs then
-        if b = 0 then None else scan ((b * bsize) - 1) ts.(b * bsize)
-      else if i = 0 then None
-      else scan (i - 1) ts.(i)
-    end
-  in
-  scan start_index finish_limit
-
-let latest_fit_walk ts vs bmax bmin n ~earliest ~finish_by ~procs ~dur =
-  latest_fit_walk_from ts vs bmax bmin
-    ~start_index:(seg_index_n ts n (finish_by - 1))
-    ~finish_limit:finish_by ~earliest ~procs ~dur
-
-let latest_fit_arrays { ts; vs; bmax; bmin } ~earliest ~finish_by ~procs ~dur =
-  latest_fit_walk ts vs bmax bmin (Array.length ts) ~earliest ~finish_by ~procs ~dur
-
-let latest_fit_map t ~earliest ~finish_by ~procs ~dur =
-  let segs = segments t ~from_:(min earliest (finish_by - dur)) ~until:finish_by in
-  let rec scan finish_limit = function
-    | [] ->
-        let s = finish_limit - dur in
-        if s >= earliest then Some s else None
-    | (seg_start, _, avail) :: rest ->
-        if seg_start >= finish_limit then scan finish_limit rest
-        else if avail >= procs then begin
-          let s = finish_limit - dur in
-          if s >= seg_start then if s >= earliest then Some s else None
-          else scan finish_limit rest
-        end
-        else begin
-          let finish_limit = seg_start in
-          if finish_limit - dur < earliest then None else scan finish_limit rest
-        end
-  in
-  scan finish_by (List.rev segs)
 
 let latest_fit t ~earliest ~finish_by ~procs ~dur =
   if procs < 1 then invalid_arg "Calendar.latest_fit: procs < 1";
@@ -451,208 +97,51 @@ let latest_fit t ~earliest ~finish_by ~procs ~dur =
   let r =
     if procs > t.procs then None
     else if finish_by - dur < earliest then None
-    else begin
-      match arrays t with
-      | Some arr ->
-          Mp_obs.Counter.incr c_array_path;
-          latest_fit_arrays arr ~earliest ~finish_by ~procs ~dur
-      | None ->
-          Mp_obs.Counter.incr c_map_path;
-          latest_fit_map t ~earliest ~finish_by ~procs ~dur
-    end
+    else Index.latest_fit t.idx ~earliest ~finish_by ~procs ~dur
   in
   Mp_obs.Timer.stop t_latest_fit t0;
   r
 
 (* --- Txn -------------------------------------------------------------- *)
 
-(* A mutable, single-owner view for the linear reserve-then-query passes
-   (backward deadline scheduling, CPA mapping, list scheduling): those
-   loops thread [Calendar.reserve]'s result straight into the next query
-   and never revisit an intermediate version, so persistence buys nothing
-   there while every step pays O(R) array patching plus map surgery.  A
-   Txn copies the segment arrays once and then reserves in place: a
-   membership scan, at most two [Array.blit] insertions, a range
-   decrement, and a block-maximum refresh.  Queries run the exact walks
-   of the persistent array path, so a Txn answers every query identically
-   to the persistent calendar that would result from the same reserves
-   (pinned by a qcheck property in test_platform.ml). *)
+(* The single-owner incremental form: a mutable root pointer into the
+   shared tree ({!Mp_index.Txn}).  [start] and [commit] are O(1) — no
+   arrays are copied, the snapshot a transaction was forked from is
+   never affected — and each reserve path-copies O(log R) nodes.  A Txn
+   answers every query exactly as the persistent calendar obtained by
+   folding the same reservations with {!reserve} would (pinned by a
+   qcheck property in test_platform.ml). *)
 module Txn = struct
   type cal = t
 
-  type nonrec t = {
-    procs : int;
-    mutable ts : int array;
-    mutable vs : int array;
-    mutable bmax : int array;
-    mutable bmin : int array;
-    mutable n : int; (* logical length; the arrays carry capacity slack *)
-    mutable loose : int; (* reserves since the block extrema were last exact *)
-    mutable gen : int; (* bumped by every state change; guards {!scan} reuse *)
-  }
+  type nonrec t = { procs : int; itx : Index.Txn.t }
 
-  (* Slack so that the first reservations never reallocate. *)
-  let slack = 64
-
-  (* Full extrema refreshes are amortized over this many inserting
-     reserves (see [reserve]). *)
-  let refresh_every = 16
-
-  let of_steps procs steps =
-    let n = Imap.cardinal steps in
-    let cap = n + slack in
-    let ts = Array.make cap 0 and vs = Array.make cap 0 in
-    let i = ref 0 in
-    Imap.iter
-      (fun time v ->
-        ts.(!i) <- time;
-        vs.(!i) <- v;
-        incr i)
-      steps;
-    let nb = (cap + bsize - 1) / bsize in
-    let bmax = Array.make nb 0 and bmin = Array.make nb 0 in
-    refresh_blocks bmax bmin vs n ~from_block:0 ~to_block:(((n + bsize - 1) / bsize) - 1);
-    { procs; ts; vs; bmax; bmin; n; loose = 0; gen = 0 }
-
-  let start (cal : cal) =
-    match arrays cal with
-    | None -> of_steps cal.procs cal.steps
-    | Some { ts; vs; bmax; bmin } ->
-        let n = Array.length ts in
-        let cap = n + slack in
-        let ts' = Array.make cap 0 and vs' = Array.make cap 0 in
-        Array.blit ts 0 ts' 0 n;
-        Array.blit vs 0 vs' 0 n;
-        let nb = (cap + bsize - 1) / bsize in
-        let bmax' = Array.make nb 0 and bmin' = Array.make nb 0 in
-        Array.blit bmax 0 bmax' 0 (Array.length bmax);
-        Array.blit bmin 0 bmin' 0 (Array.length bmin);
-        { procs = cal.procs; ts = ts'; vs = vs'; bmax = bmax'; bmin = bmin'; n; loose = 0; gen = 0 }
-
+  let start (cal : cal) = { procs = cal.procs; itx = Index.Txn.start cal.idx }
   let procs t = t.procs
-  let available_at t time = t.vs.(seg_index_n t.ts t.n time)
+  let available_at t time = Index.Txn.available_at t.itx time
 
   let can_reserve t (r : Reservation.t) =
-    (* Uniformly free blocks pass whole, as in the fit walks: overshooting
-       an index with [ts.(i) >= r.finish] lands on the same [true]. *)
-    let rec ok i =
-      i >= t.n
-      || t.ts.(i) >= r.finish
-      ||
-      if t.bmin.(i / bsize) >= r.procs then ok (((i / bsize) + 1) * bsize)
-      else t.vs.(i) >= r.procs && ok (i + 1)
-    in
-    ok (seg_index_n t.ts t.n r.start)
-
-  let grow t =
-    let cap = 2 * Array.length t.ts in
-    let ts = Array.make cap 0 and vs = Array.make cap 0 in
-    Array.blit t.ts 0 ts 0 t.n;
-    Array.blit t.vs 0 vs 0 t.n;
-    let nb = (cap + bsize - 1) / bsize in
-    let bmax = Array.make nb 0 and bmin = Array.make nb 0 in
-    Array.blit t.bmax 0 bmax 0 (Array.length t.bmax);
-    Array.blit t.bmin 0 bmin 0 (Array.length t.bmin);
-    t.ts <- ts;
-    t.vs <- vs;
-    t.bmax <- bmax;
-    t.bmin <- bmin
-
-  (* Insert breakpoint (time, v) at position [idx], shifting the tail. *)
-  let insert t idx time v =
-    Array.blit t.ts idx t.ts (idx + 1) (t.n - idx);
-    Array.blit t.vs idx t.vs (idx + 1) (t.n - idx);
-    t.ts.(idx) <- time;
-    t.vs.(idx) <- v;
-    t.n <- t.n + 1
+    Index.Txn.can_reserve t.itx ~start:r.start ~finish:r.finish ~procs:r.procs
 
   let reserve t (r : Reservation.t) =
     Mp_obs.Counter.incr c_reserve;
     let t0 = Mp_obs.Timer.start () in
-    if not (can_reserve t r) then raise (Overcommitted r);
-    t.gen <- t.gen + 1;
-    if t.n + 2 > Array.length t.ts then grow t;
-    let n_before = t.n in
-    let i0 = seg_index_n t.ts t.n r.start in
-    (* Mirror [cut]: ensure breakpoints exactly at r.start / r.finish. *)
-    let s0 =
-      if t.ts.(i0) = r.start then i0
-      else begin
-        insert t (i0 + 1) r.start t.vs.(i0);
-        i0 + 1
-      end
-    in
-    let i1 = seg_index_n t.ts t.n r.finish in
-    if t.ts.(i1) <> r.finish then insert t (i1 + 1) r.finish t.vs.(i1);
-    let j = ref s0 in
-    while !j < t.n && t.ts.(!j) < r.finish do
-      t.vs.(!j) <- t.vs.(!j) - r.procs;
-      incr j
-    done;
-    (* Entries below [s0] are untouched.  Blocks covering the decremented
-       range get exact new extrema.  Blocks past it hold unchanged values,
-       but the inserts shifted them right by [k <= 2] positions, so block
-       [b]'s entries now come from the old blocks [b - 1] and [b]; merging
-       each block's bounds with its left neighbour's (downward, so the
-       right-hand side is always the pre-reserve value, and the block
-       adjoining the recomputed range uses the saved pre-reserve bound)
-       keeps [bmax] an upper bound and [bmin] a lower bound.  Conservative
-       bounds only make the walks skip less, never answer differently, and
-       a full refresh every [refresh_every] inserting reserves keeps the
-       drift bounded — amortized O(R / refresh_every) against the O(R)
-       per-reserve refresh this replaces, which dominated bulk loads. *)
-    let k = t.n - n_before in
-    let b0 = s0 / bsize in
-    let bend = (!j - 1) / bsize in
-    let nb = (t.n + bsize - 1) / bsize in
-    if k = 0 then refresh_blocks t.bmax t.bmin t.vs t.n ~from_block:b0 ~to_block:bend
-    else begin
-      t.loose <- t.loose + 1;
-      if t.loose >= refresh_every || bend >= nb - 1 then begin
-        refresh_blocks t.bmax t.bmin t.vs t.n ~from_block:b0 ~to_block:(nb - 1);
-        t.loose <- 0
-      end
-      else begin
-        let old_max = t.bmax.(bend) and old_min = t.bmin.(bend) in
-        refresh_blocks t.bmax t.bmin t.vs t.n ~from_block:b0 ~to_block:bend;
-        for b = nb - 1 downto bend + 2 do
-          if t.bmax.(b - 1) > t.bmax.(b) then t.bmax.(b) <- t.bmax.(b - 1);
-          if t.bmin.(b - 1) < t.bmin.(b) then t.bmin.(b) <- t.bmin.(b - 1)
-        done;
-        if old_max > t.bmax.(bend + 1) then t.bmax.(bend + 1) <- old_max;
-        if old_min < t.bmin.(bend + 1) then t.bmin.(bend + 1) <- old_min
-      end
-    end;
+    if not (Index.Txn.reserve t.itx ~start:r.start ~finish:r.finish ~procs:r.procs)
+    then raise (Overcommitted r);
     Mp_obs.Timer.stop t_reserve t0
 
   let reserve_opt t r = if can_reserve t r then (reserve t r; true) else false
 
-  (* Persistent calendar equal to the transaction's current state.  The
-     steps map gets exactly the transaction's breakpoints — [reserve]
-     inserts cut points at reservation bounds and never removes any,
-     matching the persistent [reserve]'s [cut] — and the array view is
-     handed over pre-materialized, trimmed to the logical length. *)
-  let commit t =
-    let steps = ref Imap.empty in
-    for i = t.n - 1 downto 0 do
-      steps := Imap.add t.ts.(i) t.vs.(i) !steps
-    done;
-    let nb = (t.n + bsize - 1) / bsize in
-    let bmax = Array.sub t.bmax 0 nb and bmin = Array.sub t.bmin 0 nb in
-    (* The transaction's bounds may be conservative (see [reserve]); the
-       long-lived committed view gets exact ones. *)
-    refresh_blocks bmax bmin t.vs t.n ~from_block:0 ~to_block:(nb - 1);
-    let view : view =
-      { ts = Array.sub t.ts 0 t.n; vs = Array.sub t.vs 0 t.n; bmax; bmin }
-    in
-    mk ~view t.procs !steps
+  let release t (r : Reservation.t) =
+    if not (Index.Txn.release t.itx ~start:r.start ~finish:r.finish ~procs:r.procs)
+    then invalid_arg "Calendar.Txn.release: reservation was not held on this transaction"
 
-  (* [limit] bounds the start times worth reporting: a walk whose earliest
-     candidate start exceeds [limit] returns [None] without visiting the
-     rest of the calendar.  Equivalent to running the unbounded query and
-     dropping a result above [limit] — callers that ignore any such result
-     (a start past [deadline - dur] can never make its deadline) use the
-     bound to cut the scan short. *)
+  (* Persistent calendar equal to the transaction's current state.  The
+     breakpoint set is exactly the persistent fold's — the index inserts
+     cut points at reservation bounds and never removes any, matching
+     the persistent [reserve]. *)
+  let commit (t : t) : cal = { procs = t.procs; idx = Index.Txn.commit t.itx }
+
   let earliest_fit ?(limit = max_int) t ~after ~procs ~dur =
     if procs < 1 then invalid_arg "Calendar.Txn.earliest_fit: procs < 1";
     if dur < 1 then invalid_arg "Calendar.Txn.earliest_fit: dur < 1";
@@ -660,10 +149,7 @@ module Txn = struct
     let t0 = Mp_obs.Timer.start () in
     let r =
       if procs > t.procs then None
-      else begin
-        Mp_obs.Counter.incr c_array_path;
-        earliest_fit_walk t.ts t.vs t.bmax t.bmin t.n ~after ~limit ~procs ~dur
-      end
+      else Index.Txn.earliest_fit ~limit t.itx ~after ~procs ~dur
     in
     Mp_obs.Timer.stop t_earliest_fit t0;
     r
@@ -676,66 +162,33 @@ module Txn = struct
     let r =
       if procs > t.procs then None
       else if finish_by - dur < earliest then None
-      else begin
-        Mp_obs.Counter.incr c_array_path;
-        latest_fit_walk t.ts t.vs t.bmax t.bmin t.n ~earliest ~finish_by ~procs ~dur
-      end
+      else Index.Txn.latest_fit t.itx ~earliest ~finish_by ~procs ~dur
     in
     Mp_obs.Timer.stop t_latest_fit t0;
     r
 
-  (* A placement evaluates dozens of candidate ⟨procs, dur⟩ pairs against
-     the same calendar state and the same [finish_by], and each backward
-     walk re-descends the same run of breakpoints below the deadline.  A
-     scan context captures that shared prefix once: [smax.(k)] = maximum
-     availability over segment indices [k .. hi] (the segment holding
-     [finish_by - 1]).  A query then finds the latest segment clear for
-     its processor count by binary search on the non-increasing [smax] and
-     enters the walk right there, with exactly the [finish_limit] the
-     stepwise descent would have carried to that segment (every index
-     above it is blocked for [procs], so the descent only lowers the
-     limit to that segment's successor breakpoint, and its early exit on
-     [finish_limit - dur < earliest] is subsumed by the same check at the
-     entry point). *)
-  type scan = { txn : t; sc_gen : int; finish_by : int; hi : int; smax : int array }
+  (* With O(log R) backward queries the scan context no longer carries a
+     suffix-max table: it is just a staleness stamp (the transaction's
+     generation at capture time) plus the fixed [finish_by].  The stale-
+     scan contract is unchanged — any subsequent reserve/release on the
+     transaction invalidates outstanding scans. *)
+  type scan = { txn : t; sc_gen : int; finish_by : int }
 
   let latest_scan t ~finish_by =
-    let hi = seg_index_n t.ts t.n (finish_by - 1) in
-    let smax = Array.make (hi + 2) 0 in
-    for k = hi downto 0 do
-      smax.(k) <- (if t.vs.(k) > smax.(k + 1) then t.vs.(k) else smax.(k + 1))
-    done;
-    { txn = t; sc_gen = t.gen; finish_by; hi; smax }
+    { txn = t; sc_gen = Index.Txn.generation t.itx; finish_by }
 
   let latest_fit_scan sc ~earliest ~procs ~dur =
     if procs < 1 then invalid_arg "Calendar.Txn.latest_fit_scan: procs < 1";
     if dur < 1 then invalid_arg "Calendar.Txn.latest_fit_scan: dur < 1";
     let t = sc.txn in
-    if sc.sc_gen <> t.gen then
+    if sc.sc_gen <> Index.Txn.generation t.itx then
       invalid_arg "Calendar.Txn.latest_fit_scan: stale scan (transaction changed)";
     Mp_obs.Counter.incr c_latest_fit;
     let t0 = Mp_obs.Timer.start () in
     let r =
       if procs > t.procs then None
       else if sc.finish_by - dur < earliest then None
-      else if sc.smax.(0) < procs then None
-      else begin
-        Mp_obs.Counter.incr c_array_path;
-        (* Largest index with a segment clear for [procs]: [smax] is
-           non-increasing, and [smax.(i) >= procs > smax.(i + 1)] forces
-           [vs.(i) >= procs]. *)
-        let lo = ref 0 and hi = ref sc.hi in
-        while !lo < !hi do
-          let mid = (!lo + !hi + 1) / 2 in
-          if sc.smax.(mid) >= procs then lo := mid else hi := mid - 1
-        done;
-        let i = !lo in
-        let finish_limit = if i = sc.hi then sc.finish_by else t.ts.(i + 1) in
-        if finish_limit - dur < earliest then None
-        else
-          latest_fit_walk_from t.ts t.vs t.bmax t.bmin ~start_index:i ~finish_limit
-            ~earliest ~procs ~dur
-      end
+      else Index.Txn.latest_fit t.itx ~earliest ~finish_by:sc.finish_by ~procs ~dur
     in
     Mp_obs.Timer.stop t_latest_fit t0;
     r
@@ -745,7 +198,7 @@ end
    instead of one persistent version per reservation.  The fold order and
    the raising behavior are those of folding [reserve] — [Txn.reserve]
    raises [Overcommitted] on the same first infeasible reservation — and
-   the committed calendar's breakpoint map is identical entry for entry
+   the committed calendar's breakpoint set is identical entry for entry
    (pinned by a qcheck property in test_platform.ml). *)
 let of_reservations ~procs rs =
   let txn = Txn.start (create ~procs) in
@@ -800,9 +253,7 @@ let busy_series t ~from_ ~until ~step =
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>calendar p=%d@," t.procs;
-  Imap.iter
-    (fun time v ->
+  Index.iter_breakpoints t.idx (fun time v ->
       if time <> min_int then Format.fprintf ppf "  @%d -> %d@," time v
-      else Format.fprintf ppf "  @-inf -> %d@," v)
-    t.steps;
+      else Format.fprintf ppf "  @-inf -> %d@," v);
   Format.fprintf ppf "@]"

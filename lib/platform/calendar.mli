@@ -10,11 +10,15 @@
     a sweep of [lambda] values and the binary search for the tightest
     deadline re-schedules from the same base calendar many times.  Sharing
     the base calendar and layering task reservations on top costs
-    [O(log R)] per breakpoint instead of a full copy.
+    [O(log R)] per reservation instead of a full copy.
 
-    All queries are linear in the number of breakpoints, which matches the
-    per-task [O(R)] cost assumed by the paper's complexity analysis
-    (Section 6.1, Table 8). *)
+    The representation is {!Mp_index}: a balanced breakpoint tree with
+    hierarchical (min, max) availability summaries (see "Calendar index"
+    in DESIGN.md).  Point lookups, window minima, {!reserve}, {!release}
+    and the fit queries are all O(log R) in the number of breakpoints —
+    within the per-task [O(R)] cost assumed by the paper's complexity
+    analysis (Section 6.1, Table 8), and far below it on the
+    million-reservation calendars the scheduling service holds. *)
 
 type t
 
@@ -80,26 +84,27 @@ val latest_fit : t -> earliest:int -> finish_by:int -> procs:int -> dur:int -> i
     The scheduling inner loops (backward deadline placement, CPA mapping,
     list scheduling) thread each {!reserve} result straight into the next
     query and never revisit an intermediate calendar version, so they pay
-    for persistence without using it.  A [Txn] copies the calendar's
-    segment arrays once at {!Txn.start} and then applies reservations in
-    place — a capacity scan, at most two array insertions, a range
-    decrement — instead of building a full successor version per task.
+    for persistence without using it.  A [Txn] owns a mutable root
+    pointer into the shared breakpoint tree ({!Mp_index.Txn}): {!Txn.start}
+    and {!Txn.commit} are O(1), each reservation path-copies O(log R)
+    nodes, and the calendar the transaction was forked from is never
+    modified.
 
     A [Txn] answers every query exactly as the persistent calendar
     obtained by folding the same reservations with {!reserve} would
-    (pinned by a qcheck property in [test_platform.ml]); the source
-    calendar is never modified.  A [Txn] must stay confined to one domain:
-    it is freely mutated and carries none of the persistent structure's
-    sharing guarantees. *)
+    (pinned by a qcheck property in [test_platform.ml]).  A [Txn] must
+    stay confined to one domain: it is freely mutated and carries none of
+    the persistent structure's sharing guarantees.  The per-site shards
+    of {!Mp_service.Engine} each own one long-lived [Txn]. *)
 module Txn : sig
   type cal := t
 
   type t
-  (** A private mutable copy of one calendar version plus any number of
+  (** A private mutable view of one calendar version plus any number of
       in-place reservations. *)
 
   val start : cal -> t
-  (** Fork a transaction off a calendar version.  O(R). *)
+  (** Fork a transaction off a calendar version.  O(1). *)
 
   val procs : t -> int
   (** Total processors of the cluster. *)
@@ -118,6 +123,17 @@ module Txn : sig
   (** Non-raising {!reserve}: [false] (and no change) when it would
       overcommit. *)
 
+  val release : t -> Reservation.t -> unit
+  (** Undo a {!reserve}, in place.  Raises [Invalid_argument] when the
+      reservation was not actually held (the result would exceed the
+      cluster size) — the mirror of the persistent {!val:release}. *)
+
+  val commit : t -> cal
+  (** The transaction's current state as a persistent calendar.  O(1);
+      the transaction remains usable afterwards, and further reserves do
+      not affect the returned calendar.  The committed calendar's
+      breakpoints are exactly those of the equivalent persistent fold. *)
+
   val earliest_fit : ?limit:int -> t -> after:int -> procs:int -> dur:int -> int option
   (** As {!earliest_fit} on the transaction's current state.  [limit]
       (default unbounded) makes the query answer [None] as soon as every
@@ -131,24 +147,23 @@ module Txn : sig
   (** As {!latest_fit} on the transaction's current state. *)
 
   type scan
-  (** Shared prefix of backward walks toward one [finish_by] on one
-      transaction state: a placement evaluating many candidate
-      ⟨procs, dur⟩ pairs builds it once and each query enters the walk at
-      the latest segment clear for its processor count (found by binary
-      search) instead of re-descending the blocked run below the deadline
-      segment by segment. *)
+  (** Backward-query context toward one [finish_by] on one transaction
+      state.  With the O(log R) tree behind every query this no longer
+      precomputes anything: it pins the transaction's generation so that
+      reuse after a state change is caught, keeping the staleness
+      contract callers were written against. *)
 
   val latest_scan : t -> finish_by:int -> scan
   (** Capture the transaction's current state for {!latest_fit_scan}
-      queries with this [finish_by].  O(R).  The scan is invalidated by
+      queries with this [finish_by].  O(1).  The scan is invalidated by
       any subsequent {!reserve} on the transaction ({!latest_fit_scan}
       raises [Invalid_argument] on a stale scan). *)
 
   val latest_fit_scan : scan -> earliest:int -> procs:int -> dur:int -> int option
   (** Exactly [latest_fit txn ~earliest ~finish_by ~procs ~dur] for the
-      scan's transaction and [finish_by], answered in O(log R) plus the
-      useful part of the walk (pinned against {!latest_fit} by a qcheck
-      property in [test_platform.ml]). *)
+      scan's transaction and [finish_by], answered in O(log R) (pinned
+      against {!latest_fit} by a qcheck property in
+      [test_platform.ml]). *)
 end
 
 val segments : t -> from_:int -> until:int -> (int * int * int) list

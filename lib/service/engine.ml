@@ -30,9 +30,16 @@ let no_handlers =
     explain = (fun ~algo:_ ~deadline:_ ~format:_ ~q:_ _ dag -> no_scheduler dag);
   }
 
+(* Each site owns one long-lived {!Calendar.Txn}: an independent shard
+   of the availability index ({!Mp_index}), mutated only by this site's
+   sequential request stream — sites share no mutable state, which is
+   what lets {!run} fan them over worker domains.  Handlers and the
+   {!calendar} accessor see O(1) persistent snapshots ([Txn.commit]);
+   whole-DAG commits go through a trial transaction forked from the
+   current snapshot so a failing schedule leaves the site untouched. *)
 type site = {
   q : int;
-  mutable cal : Calendar.t;
+  mutable txn : Calendar.Txn.t;
   mutable held : Reservation.t list;  (* most recent first *)
   mutable n_requests : int;
 }
@@ -41,7 +48,9 @@ type t = { sites : site array; handlers : handlers }
 
 let create ?(handlers = no_handlers) ~sites () =
   if Array.length sites = 0 then invalid_arg "Engine.create: no sites";
-  let site (s : site_spec) = { q = s.q; cal = s.calendar; held = []; n_requests = 0 } in
+  let site (s : site_spec) =
+    { q = s.q; txn = Calendar.Txn.start s.calendar; held = []; n_requests = 0 }
+  in
   { sites = Array.map site sites; handlers }
 
 (* --- observability (record-only) --------------------------------------- *)
@@ -77,24 +86,24 @@ let count_response = function
    staying put. *)
 let reserve site ~start ~dur ~procs =
   if start < 0 || dur < 1 || procs < 1 then Response.Rejected None
-  else if procs > Calendar.procs site.cal then Response.Rejected None
+  else if procs > Calendar.Txn.procs site.txn then Response.Rejected None
   else begin
     let r = Reservation.make ~start ~finish:(start + dur) ~procs in
-    match Calendar.reserve_opt site.cal r with
-    | Some cal ->
-        site.cal <- cal;
-        site.held <- r :: site.held;
-        if !Journal.enabled then Journal.grant ~start ~finish:(start + dur) ~procs ~granted:true;
-        Response.Granted
-    | None ->
-        if !Journal.enabled then Journal.grant ~start ~finish:(start + dur) ~procs ~granted:false;
-        Response.Rejected (Calendar.earliest_fit site.cal ~after:start ~procs ~dur)
+    if Calendar.Txn.reserve_opt site.txn r then begin
+      site.held <- r :: site.held;
+      if !Journal.enabled then Journal.grant ~start ~finish:(start + dur) ~procs ~granted:true;
+      Response.Granted
+    end
+    else begin
+      if !Journal.enabled then Journal.grant ~start ~finish:(start + dur) ~procs ~granted:false;
+      Response.Rejected (Calendar.Txn.earliest_fit site.txn ~after:start ~procs ~dur)
+    end
   end
 
 let probe site ~start ~dur ~procs =
-  if start < 0 || dur < 1 || procs < 1 || procs > Calendar.procs site.cal then
+  if start < 0 || dur < 1 || procs < 1 || procs > Calendar.Txn.procs site.txn then
     Response.Available None
-  else Response.Available (Calendar.earliest_fit site.cal ~after:start ~procs ~dur)
+  else Response.Available (Calendar.Txn.earliest_fit site.txn ~after:start ~procs ~dur)
 
 let cancel site ~start ~finish ~procs =
   let not_held () =
@@ -112,23 +121,24 @@ let cancel site ~start ~finish ~procs =
     | None -> not_held ()
     | Some held ->
         site.held <- held;
-        site.cal <- Calendar.release site.cal r;
+        Calendar.Txn.release site.txn r;
         Response.Cancelled
   end
 
 let submit t site ~algo ~deadline dag =
-  match t.handlers.submit ~algo ~deadline ~q:site.q site.cal dag with
-  | Response.Scheduled { schedule; _ } as resp -> (
-      match
-        List.fold_left
-          (fun cal r -> match cal with None -> None | Some c -> Calendar.reserve_opt c r)
-          (Some site.cal)
-          (Mp_cpa.Schedule.reservations schedule)
-      with
-      | Some cal ->
-          site.cal <- cal;
-          resp
-      | None -> Response.Error "submit_dag: schedule overcommits the site calendar")
+  match t.handlers.submit ~algo ~deadline ~q:site.q (Calendar.Txn.commit site.txn) dag with
+  | Response.Scheduled { schedule; _ } as resp ->
+      (* All-or-nothing: apply the schedule to a trial transaction forked
+         off the current state (both forks are O(1)); adopt it only if
+         every reservation fits, so a failing schedule leaves the site's
+         shard untouched. *)
+      let trial = Calendar.Txn.start (Calendar.Txn.commit site.txn) in
+      if List.for_all (Calendar.Txn.reserve_opt trial) (Mp_cpa.Schedule.reservations schedule)
+      then begin
+        site.txn <- trial;
+        resp
+      end
+      else Response.Error "submit_dag: schedule overcommits the site calendar"
   | resp -> resp
 
 let dispatch t site (r : Request.t) =
@@ -138,7 +148,7 @@ let dispatch t site (r : Request.t) =
   | Cancel { start; finish; procs } -> cancel site ~start ~finish ~procs
   | Submit_dag { dag; algo; deadline } -> submit t site ~algo ~deadline dag
   | Explain { dag; algo; deadline; format } ->
-      t.handlers.explain ~algo ~deadline ~format ~q:site.q site.cal dag
+      t.handlers.explain ~algo ~deadline ~format ~q:site.q (Calendar.Txn.commit site.txn) dag
 
 let handle t ~site r =
   if site < 0 || site >= Array.length t.sites then begin
@@ -255,6 +265,6 @@ let granted t ~site =
 
 let calendar t ~site =
   check_site t site "calendar";
-  t.sites.(site).cal
+  Calendar.Txn.commit t.sites.(site).txn
 
 let n_sites t = Array.length t.sites

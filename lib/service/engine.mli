@@ -1,8 +1,11 @@
 (** The scheduling-service engine: typed requests against live per-site
     calendars.
 
-    One engine owns an array of sites, each a live {!Mp_platform.Calendar}
-    plus the processor budget [q] given to DAG schedulers.  {!handle}
+    One engine owns an array of sites, each an independently sharded
+    availability calendar — a long-lived {!Mp_platform.Calendar.Txn} over
+    its own {!Mp_index} tree, so per-request fit queries and commits cost
+    O(log R) even with 10⁵–10⁶ live reservations — plus the processor
+    budget [q] given to DAG schedulers.  {!handle}
     services one {!Request.t} against one site and returns a
     {!Response.t}; {!run} consumes a whole {!Request.envelope} stream with
     deterministic admission control, optionally fanning sites out over an

@@ -32,8 +32,14 @@ val quick : scale
 val standard : scale
 val paper : scale
 
+val huge : scale
+(** Same simulation shape as {!quick}; selecting it grows the parts of
+    the bench harness that scale independently of the table scenario
+    counts — the "Calendar index" ladder climbs to 10⁵–10⁶ reservations
+    per calendar.  See CLAUDE.md ([MPRES_SCALE=huge]). *)
+
 val scale_of_string : string -> scale option
-(** ["tiny"], ["quick"], ["standard"], ["paper"]. *)
+(** ["tiny"], ["quick"], ["standard"], ["paper"], ["huge"]. *)
 
 (** {1 Table 2 — workload logs} *)
 

@@ -292,17 +292,17 @@ let arb_scenario =
     QCheck.Gen.(
       pair (gen_reservations procs) (triple (0 -- 50) (1 -- procs) (1 -- 10)))
 
-(* The calendar answers its first few queries by walking the map and
-   switches to a flat-array scan once a version proves hot; repeating the
-   query exercises both implementations and checks they agree. *)
+(* Queries go straight to the Mp_index tree; repeating them checks that
+   reads never mutate the snapshot (the lazy add tags are pushed only on
+   path-copied nodes, so a query must be repeatable). *)
 let stable_query cal q =
   let first = q cal in
   let rec warm k last = if k = 0 then last else warm (k - 1) (q cal) in
   let last = warm 6 first in
-  if first = last then first else failwith "map and array query paths disagree"
+  if first = last then first else failwith "repeated query changed its answer"
 
 let prop_earliest_fit_matches_reference =
-  QCheck.Test.make ~name:"earliest_fit matches brute force (both paths)" ~count:500 arb_scenario
+  QCheck.Test.make ~name:"earliest_fit matches brute force" ~count:500 arb_scenario
     (fun (rs, (after, np, dur)) ->
       let procs = 5 in
       let cal = Calendar.of_reservations ~procs rs in
@@ -311,7 +311,7 @@ let prop_earliest_fit_matches_reference =
       got = want)
 
 let prop_latest_fit_matches_reference =
-  QCheck.Test.make ~name:"latest_fit matches brute force (both paths)" ~count:500 arb_scenario
+  QCheck.Test.make ~name:"latest_fit matches brute force" ~count:500 arb_scenario
     (fun (rs, (after, np, dur)) ->
       let procs = 5 in
       let finish_by = after + 30 in
@@ -398,18 +398,16 @@ let prop_release_inverts_reserve =
           done;
           !ok)
 
-(* Reserving on a calendar whose arrays are already materialized patches
-   the parent's arrays instead of re-materializing from the map; the
+(* Reserve path-copies O(log R) tree nodes off the parent snapshot; the
    child must answer exactly like a cold calendar built from the same
-   reservations. *)
-let prop_patched_arrays_match_cold_calendar =
-  QCheck.Test.make ~name:"patched arrays equal the map-built calendar" ~count:300
+   reservations (the shared subtrees carry no stale summaries). *)
+let prop_incremental_reserve_matches_cold_calendar =
+  QCheck.Test.make ~name:"incremental reserve equals the cold-built calendar" ~count:300
     (QCheck.make
        QCheck.Gen.(pair (gen_reservations 5) (triple (0 -- 40) (1 -- 8) (1 -- 5))))
     (fun (rs, (s, d, np)) ->
       let cal = Calendar.of_reservations ~procs:5 rs in
-      (* Warm past the force threshold so the arrays exist and reserve
-         takes the patching path. *)
+      (* Query first so reserve happens on an already-queried snapshot. *)
       let (_ : int) = stable_query cal (fun cal -> Calendar.available_at cal 0) in
       let r = Reservation.make ~start:s ~finish:(s + d) ~procs:np in
       match Calendar.reserve_opt cal r with
@@ -431,12 +429,37 @@ let prop_patched_arrays_match_cold_calendar =
           done;
           !ok)
 
+(* Cross-layer: the calendar is a thin veneer over Mp_index — both
+   layers must expose the same step function, the same breakpoint set
+   and the same fit answers for the same reservations. *)
+let prop_calendar_matches_raw_index =
+  QCheck.Test.make ~name:"calendar agrees with a raw Mp_index" ~count:300 arb_scenario
+    (fun (rs, (after, np, dur)) ->
+      let cal = Calendar.of_reservations ~procs:5 rs in
+      let idx =
+        List.fold_left
+          (fun idx (r : Reservation.t) ->
+            match Mp_index.reserve idx ~start:r.start ~finish:r.finish ~procs:r.procs with
+            | Some idx -> idx
+            | None -> QCheck.Test.fail_report "soup reservation rejected by raw index")
+          (Mp_index.create ~procs:5) rs
+      in
+      let ok = ref true in
+      for t = -2 to 60 do
+        if Calendar.available_at cal t <> Mp_index.available_at idx t then ok := false
+      done;
+      !ok
+      && Calendar.breakpoints cal = Mp_index.breakpoints idx
+      && Calendar.earliest_fit cal ~after ~procs:np ~dur
+         = Mp_index.earliest_fit idx ~after ~procs:np ~dur
+      && Calendar.latest_fit cal ~earliest:0 ~finish_by:(after + 30) ~procs:np ~dur
+         = Mp_index.latest_fit idx ~earliest:0 ~finish_by:(after + 30) ~procs:np ~dur)
+
 (* A Txn must answer every query exactly as the persistent calendar
    obtained by folding the same reservations with [reserve] would.  The
    op list is long enough (and interleaves queries between reserves) to
-   exercise the transaction's incremental block-extrema maintenance,
-   including the periodic exact refresh and the conservative
-   bound-merging on the shifted tail. *)
+   exercise the transaction's mutable-root updates over the shared
+   Mp_index tree — cuts at reservation ends plus lazy range adds. *)
 let prop_txn_matches_persistent_fold =
   QCheck.Test.make ~name:"txn reserve/query sequence matches persistent fold" ~count:200
     (QCheck.make
@@ -476,9 +499,9 @@ let prop_txn_matches_persistent_fold =
         ops;
       !ok)
 
-(* latest_fit_scan enters the backward walk below the blocked run via a
-   binary search over a suffix-max table; it must agree with the plain
-   stepwise [Txn.latest_fit] everywhere, and go stale on reserve. *)
+(* latest_fit_scan is a generation-stamped facade over [Txn.latest_fit]
+   (the tree summaries already make the walk O(log R) per blocked run);
+   it must agree with it everywhere, and go stale on reserve. *)
 let prop_latest_fit_scan_matches_latest_fit =
   QCheck.Test.make ~name:"latest_fit_scan matches latest_fit" ~count:200
     (QCheck.make QCheck.Gen.(pair (gen_reservations 5) (20 -- 60)))
@@ -516,7 +539,8 @@ let () =
         prop_fit_result_actually_fits;
         prop_latest_fit_result_within_bounds;
         prop_reserve_decreases_availability;
-        prop_patched_arrays_match_cold_calendar;
+        prop_incremental_reserve_matches_cold_calendar;
+        prop_calendar_matches_raw_index;
         prop_txn_matches_persistent_fold;
         prop_latest_fit_scan_matches_latest_fit;
       ]
