@@ -295,13 +295,9 @@ let service_n =
   | "huge" -> 10_000
   | _ (* quick *) -> 10_000
 
-(* Nearest-rank percentile of the per-request wall-clock samples. *)
-let percentile_ns p a =
-  let n = Array.length a in
-  if n = 0 then 0 else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
-
 let bench_service ~pool () =
   let sites = 4 and procs = 64 and queue_limit = 32 and budget = 60 in
+  let stats_every = 60 in
   let rng = Mp_prelude.Rng.create (scale.Experiments.seed + 0x5e7e) in
   let envelopes =
     Mp_service.Stream.generate rng ~budget
@@ -313,8 +309,11 @@ let bench_service ~pool () =
         { Mp_service.Engine.calendar = Mp_platform.Calendar.create ~procs; q = procs })
   in
   let engine = Mp_core.Serve.engine ~sites:specs () in
+  let sink = Mp_service.Engine.Stats.sink ~every:stats_every () in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Mp_service.Engine.run ~pool ~queue_limit ~measure:true engine envelopes in
+  let outcomes =
+    Mp_service.Engine.run ~pool ~queue_limit ~measure:true ~stats:sink engine envelopes
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let counts = Hashtbl.create 16 in
   List.iter
@@ -323,30 +322,43 @@ let bench_service ~pool () =
       Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
     outcomes;
   let count k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
-  let samples =
-    Array.of_list (List.map (fun (o : Mp_service.Engine.outcome) -> o.wall_ns) outcomes)
+  let latency =
+    Mp_obs.Summary.of_list (List.map (fun (o : Mp_service.Engine.outcome) -> o.wall_ns) outcomes)
   in
-  Array.sort compare samples;
-  let p50 = percentile_ns 0.50 samples and p99 = percentile_ns 0.99 samples in
   let rps = if wall > 0. then float_of_int (List.length outcomes) /. wall else 0. in
+  let samples = Mp_service.Engine.Stats.samples sink in
+  let headline = Mp_forensics.Telemetry.headline samples in
+  let html =
+    Mp_forensics.Telemetry.html
+      ~title:(Printf.sprintf "Service soak telemetry (%s scale)" scale_name)
+      samples
+  in
+  Out_channel.with_open_text "BENCH_telemetry.html" (fun oc ->
+      Out_channel.output_string oc html);
   Printf.printf "service soak: %d requests over %d sites (queue-limit %d, budget %d s)\n"
     service_n sites queue_limit budget;
   Printf.printf "  %s\n"
     (String.concat "  "
-       (List.map
-          (fun k -> Printf.sprintf "%s %d" k (count k))
-          [
-            "granted"; "rejected"; "available"; "scheduled"; "infeasible"; "cancelled";
-            "explained"; "overloaded"; "error";
-          ]));
-  Printf.printf "  %.0f requests/s; per-request latency p50 %.1f us, p99 %.1f us\n" rps
-    (float_of_int p50 /. 1e3)
-    (float_of_int p99 /. 1e3);
+       (List.map (fun k -> Printf.sprintf "%s %d" k (count k)) Mp_service.Response.kinds));
+  Printf.printf
+    "  %.0f requests/s; per-request latency p50 %.1f us, p99 %.1f us, p999 %.1f us\n" rps
+    (float_of_int latency.p50 /. 1e3)
+    (float_of_int latency.p99 /. 1e3)
+    (float_of_int latency.p999 /. 1e3);
+  Printf.printf
+    "  telemetry: %d sample(s), shed rate %.4f, queue peak %d, p999 sojourn %.0f s \
+     (BENCH_telemetry.html)\n"
+    headline.h_samples headline.h_shed_rate headline.h_max_queue_depth headline.h_p999_sojourn;
   set_metrics
     [
       ("requests_per_s", rps);
-      ("latency_p50_us", float_of_int p50 /. 1e3);
-      ("latency_p99_us", float_of_int p99 /. 1e3);
+      ("latency_p50_us", float_of_int latency.p50 /. 1e3);
+      ("latency_p99_us", float_of_int latency.p99 /. 1e3);
+      ("latency_p999_us", float_of_int latency.p999 /. 1e3);
+      ("shed_rate", headline.h_shed_rate);
+      ("max_queue_depth", float_of_int headline.h_max_queue_depth);
+      ("p999_sojourn_s", headline.h_p999_sojourn);
+      ("mean_occupancy", headline.h_mean_occupancy);
     ]
 
 (* ------------------------------------------------------------------ *)

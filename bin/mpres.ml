@@ -457,21 +457,13 @@ let jobs_t =
           "Worker domains for the fan-out (default: cores - 1; 1 = sequential). Results are \
            bit-identical whatever the value.")
 
-(* Nearest-rank percentile of an unsorted sample, deterministic. *)
-let percentile_ns samples p =
-  match samples with
-  | [] -> 0
-  | _ ->
-      let a = Array.of_list samples in
-      Array.sort compare a;
-      let n = Array.length a in
-      a.(min (n - 1) (int_of_float (p *. float_of_int n)))
-
-let serve seed n sites procs queue_limit budget algos jobs dump replay json trace =
+let serve seed n sites procs queue_limit budget algos jobs dump replay json stats_every
+    stats_out stats_html trace =
   if n < 0 then die "-n must be nonnegative";
   if sites < 1 then die "--sites must be at least 1";
   if procs < 1 then die "--procs must be at least 1";
   if jobs < 1 then die "--jobs must be at least 1";
+  if stats_every < 1 then die "--stats-every must be at least 1";
   let algos = String.split_on_char ',' algos |> List.map String.trim |> List.filter (( <> ) "") in
   List.iter (fun a -> if Algo.find a = None then unknown_algo a) algos;
   if algos = [] then die "--algos must name at least one algorithm";
@@ -510,13 +502,14 @@ let serve seed n sites procs queue_limit budget algos jobs dump replay json trac
         { Engine.calendar = Mp_platform.Calendar.create ~procs; q = procs })
   in
   let engine = Serve.engine ~sites:site_specs () in
+  let sink = Engine.Stats.sink ~every:stats_every () in
   let run () =
     let t0 = Mp_obs.now_ns () in
     let outcomes =
-      if jobs = 1 then Engine.run ?queue_limit ~measure:true engine envelopes
+      if jobs = 1 then Engine.run ?queue_limit ~measure:true ~stats:sink engine envelopes
       else
         Mp_prelude.Pool.with_pool ~jobs (fun pool ->
-            Engine.run ~pool ?queue_limit ~measure:true engine envelopes)
+            Engine.run ~pool ?queue_limit ~measure:true ~stats:sink engine envelopes)
     in
     (outcomes, Mp_obs.now_ns () - t0)
   in
@@ -531,11 +524,41 @@ let serve seed n sites procs queue_limit budget algos jobs dump replay json trac
   let kind_counts =
     List.filter_map
       (fun k -> Option.map (fun c -> (k, c)) (Hashtbl.find_opt kinds k))
-      [ "granted"; "rejected"; "available"; "scheduled"; "infeasible"; "cancelled"; "explained";
-        "overloaded"; "error" ]
+      Response.kinds
   in
-  let latencies = List.map (fun (o : Engine.outcome) -> o.wall_ns) outcomes in
-  let p50 = percentile_ns latencies 0.50 and p99 = percentile_ns latencies 0.99 in
+  let samples = Engine.Stats.samples sink in
+  (match stats_out with
+  | None -> ()
+  | Some path -> (
+      match
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Mp_forensics.Telemetry.to_jsonl samples))
+      with
+      | () -> Format.eprintf "telemetry series written to %s@." path
+      | exception Sys_error msg -> die "%s" msg));
+  (match stats_html with
+  | None -> ()
+  | Some path -> (
+      let title = Printf.sprintf "mpres serve telemetry (seed %d, n %d)" seed n in
+      match
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Mp_forensics.Telemetry.html ~title samples))
+      with
+      | () -> Format.eprintf "telemetry dashboard written to %s@." path
+      | exception Sys_error msg -> die "%s" msg));
+  (* final per-site stats snapshots, aggregated via the in-band protocol *)
+  let shed_queue = ref 0 and shed_budget = ref 0 and queue_peak = ref 0 in
+  for site = 0 to sites - 1 do
+    match Engine.handle engine ~site (Request.Stats { last = 0 }) with
+    | Response.Stats s ->
+        shed_queue := !shed_queue + s.shed_queue;
+        shed_budget := !shed_budget + s.shed_budget;
+        queue_peak := max !queue_peak s.queue_peak
+    | _ -> ()
+  done;
+  let latency =
+    Mp_obs.Summary.of_list (List.map (fun (o : Engine.outcome) -> o.wall_ns) outcomes)
+  in
   let wall_s = float_of_int wall_ns /. 1e9 in
   let rps = if wall_s > 0. then float_of_int n_out /. wall_s else 0. in
   if json then begin
@@ -549,10 +572,22 @@ let serve seed n sites procs queue_limit budget algos jobs dump replay json trac
               ("jobs", Num (float_of_int jobs));
               ("wall_s", Num wall_s);
               ("requests_per_s", Num rps);
-              ("latency_p50_ns", Num (float_of_int p50));
-              ("latency_p99_ns", Num (float_of_int p99));
+              ("latency_p50_ns", Num (float_of_int latency.p50));
+              ("latency_p99_ns", Num (float_of_int latency.p99));
+              ("latency_p999_ns", Num (float_of_int latency.p999));
+              ("latency_max_ns", Num (float_of_int latency.max));
+              ("latency_mean_ns", Num latency.mean);
               ( "responses",
                 Obj (List.map (fun (k, c) -> (k, Num (float_of_int c))) kind_counts) );
+              ( "stats",
+                Obj
+                  [
+                    ("shed_queue", Num (float_of_int !shed_queue));
+                    ("shed_budget", Num (float_of_int !shed_budget));
+                    ("queue_peak", Num (float_of_int !queue_peak));
+                    ("samples", Num (float_of_int (List.length samples)));
+                    ("window_s", Num (float_of_int stats_every));
+                  ] );
             ]))
   end
   else begin
@@ -561,8 +596,13 @@ let serve seed n sites procs queue_limit budget algos jobs dump replay json trac
     Format.printf "  %s@."
       (String.concat "  " (List.map (fun (k, c) -> Printf.sprintf "%s %d" k c) kind_counts));
     Format.printf "  wall %.3f s, %.0f requests/s@." wall_s rps;
-    Format.printf "  placement latency p50 %.1f us, p99 %.1f us@."
-      (float_of_int p50 /. 1e3) (float_of_int p99 /. 1e3)
+    Format.printf "  placement latency p50 %.1f us, p99 %.1f us, p999 %.1f us@."
+      (float_of_int latency.p50 /. 1e3)
+      (float_of_int latency.p99 /. 1e3)
+      (float_of_int latency.p999 /. 1e3);
+    Format.printf "  shed: queue-full %d, over-budget %d; queue peak %d@." !shed_queue
+      !shed_budget !queue_peak;
+    Format.printf "  telemetry: %d sample(s), %ds windows@." (List.length samples) stats_every
   end
 
 let serve_cmd =
@@ -614,15 +654,41 @@ let serve_cmd =
              generating one; decisions replay bit-identically for any --jobs.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as one JSON object.") in
+  let stats_every =
+    Arg.(
+      value
+      & opt int 60
+      & info [ "stats-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Telemetry sampling window in simulated seconds: each site emits one stats sample \
+             per window (default 60). The series depends only on the request stream, so it is \
+             bit-identical for any --jobs and across a --dump/--replay pair.")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:"Write the telemetry time series as JSONL (one sample per line) to $(docv).")
+  in
+  let stats_html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-html" ] ~docv:"FILE"
+          ~doc:
+            "Render the telemetry series as a self-contained HTML/SVG dashboard (sojourn \
+             heatmap, queue-depth and occupancy timelines) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the scheduling service over a seeded or replayed request stream (reserve, probe, \
-          cancel, submit-dag, explain) and report per-kind outcomes, throughput, and placement \
-          latency")
+          cancel, submit-dag, explain) and report per-kind outcomes, throughput, placement \
+          latency, and a deterministic telemetry time series")
     Term.(
       const serve $ seed_t $ n $ sites $ procs $ queue_limit $ budget $ algos $ jobs_t $ dump
-      $ replay $ json $ trace_t)
+      $ replay $ json $ stats_every $ stats_out $ stats_html $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)

@@ -40,7 +40,7 @@ let schedule ?(bl = Bottom_level.BL_CPAR) ?(bd = Bound.BD_CPAR) (env : Env.t) ~e
             | Reserve { start; dur; procs } ->
                 (* nonsensical request: rejected, as Engine would *)
                 Mp_forensics.Journal.grant ~start ~finish:(start + dur) ~procs ~granted:false
-            | Probe _ | Cancel _ | Submit_dag _ | Explain _ ->
+            | Probe _ | Cancel _ | Submit_dag _ | Explain _ | Stats _ ->
                 (* queries don't perturb the calendar, and competitor
                    cancellations / DAG submissions are not modelled here *)
                 ())

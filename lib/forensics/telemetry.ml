@@ -1,0 +1,299 @@
+module Json = Mp_prelude.Json
+module Hist = Mp_obs.Hist
+
+type sample = {
+  site : int;
+  t_end : int;
+  window : int;
+  served : (string * int) list;
+  shed_queue : int;
+  shed_budget : int;
+  queue_depth : int;
+  queue_peak : int;
+  occupancy : float;
+  breakpoints : int;
+  index_visits : int;
+  sojourn : Hist.t;
+}
+
+(* --- JSONL --------------------------------------------------------------- *)
+
+let hist_to_json h =
+  let buckets = Hist.buckets h in
+  let sparse = ref [] in
+  for i = Array.length buckets - 1 downto 0 do
+    if buckets.(i) > 0 then
+      sparse :=
+        Json.Arr [ Num (float_of_int i); Num (float_of_int buckets.(i)) ] :: !sparse
+  done;
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int (Hist.count h)));
+      ("total", Json.Num (float_of_int (Hist.total h)));
+      ("max", Json.Num (float_of_int (Hist.max_sample h)));
+      ("buckets", Json.Arr !sparse);
+    ]
+
+let sample_to_json s =
+  let n v = Json.Num (float_of_int v) in
+  Json.Obj
+    [
+      ("site", n s.site);
+      ("t_end", n s.t_end);
+      ("window", n s.window);
+      ( "served",
+        Json.Obj
+          (List.filter_map
+             (fun (k, v) -> if v = 0 then None else Some (k, n v))
+             s.served) );
+      ("shed_queue", n s.shed_queue);
+      ("shed_budget", n s.shed_budget);
+      ("queue_depth", n s.queue_depth);
+      ("queue_peak", n s.queue_peak);
+      ("occupancy", Json.Num s.occupancy);
+      ("breakpoints", n s.breakpoints);
+      ("index_visits", n s.index_visits);
+      ("sojourn", hist_to_json s.sojourn);
+    ]
+
+let to_jsonl samples =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (sample_to_json s));
+      Buffer.add_char buf '\n')
+    samples;
+  Buffer.contents buf
+
+(* --- headline ------------------------------------------------------------ *)
+
+type headline = {
+  h_samples : int;
+  h_served : int;
+  h_shed : int;
+  h_shed_rate : float;
+  h_max_queue_depth : int;
+  h_p999_sojourn : float;
+  h_mean_occupancy : float;
+  h_peak_occupancy : float;
+}
+
+let headline samples =
+  let merged = Hist.create () in
+  let served = ref 0 and shed = ref 0 and max_depth = ref 0 in
+  let occ_total = ref 0. and occ_peak = ref 0. and n = ref 0 in
+  List.iter
+    (fun s ->
+      incr n;
+      Hist.merge_into ~into:merged s.sojourn;
+      served := !served + List.fold_left (fun acc (_, v) -> acc + v) 0 s.served;
+      shed := !shed + s.shed_queue + s.shed_budget;
+      if s.queue_peak > !max_depth then max_depth := s.queue_peak;
+      occ_total := !occ_total +. s.occupancy;
+      if s.occupancy > !occ_peak then occ_peak := s.occupancy)
+    samples;
+  let offered = !served + !shed in
+  {
+    h_samples = !n;
+    h_served = !served;
+    h_shed = !shed;
+    h_shed_rate = (if offered = 0 then 0. else float_of_int !shed /. float_of_int offered);
+    h_max_queue_depth = !max_depth;
+    h_p999_sojourn = (if Hist.count merged = 0 then 0. else Hist.percentile merged 0.999);
+    h_mean_occupancy = (if !n = 0 then 0. else !occ_total /. float_of_int !n);
+    h_peak_occupancy = !occ_peak;
+  }
+
+(* --- dashboard ----------------------------------------------------------- *)
+
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2"; "#edc948"; "#ff9da7" |]
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let sites_of samples = List.sort_uniq compare (List.map (fun s -> s.site) samples)
+let windows_of samples = List.sort_uniq compare (List.map (fun s -> s.t_end) samples)
+
+(* Sojourn heatmap: one column per time window, one row per log2 sojourn
+   bucket, shade by sample count (merged across sites). *)
+let heatmap_svg samples =
+  let windows = Array.of_list (windows_of samples) in
+  let n_w = Array.length windows in
+  if n_w = 0 then "<svg width=\"10\" height=\"10\"></svg>"
+  else begin
+    let merged = Array.map (fun _ -> Hist.create ()) windows in
+    let col = Hashtbl.create 16 in
+    Array.iteri (fun i w -> Hashtbl.replace col w i) windows;
+    List.iter
+      (fun s -> Hist.merge_into ~into:merged.(Hashtbl.find col s.t_end) s.sojourn)
+      samples;
+    let max_bucket =
+      Array.fold_left
+        (fun acc h ->
+          let b = Hist.buckets h in
+          let rec top i = if i < 0 then -1 else if b.(i) > 0 then i else top (i - 1) in
+          max acc (top (Array.length b - 1)))
+        0 merged
+    in
+    let n_rows = max 1 (max_bucket + 1) in
+    let peak =
+      Array.fold_left
+        (fun acc h -> Array.fold_left max acc (Hist.buckets h))
+        1 merged
+    in
+    let cell_w = max 4 (min 24 (900 / n_w)) and cell_h = 14 in
+    let left = 70 and top = 8 and bottom = 24 in
+    let width = left + (n_w * cell_w) + 8 in
+    let height = top + (n_rows * cell_h) + bottom in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+          font-family=\"monospace\" font-size=\"10\">\n"
+         width height);
+    for r = 0 to n_rows - 1 do
+      (* row 0 at the bottom: longer sojourns higher up *)
+      let y = top + ((n_rows - 1 - r) * cell_h) in
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333333\">&#8805;%ds</text>\n" 4
+           (y + cell_h - 3)
+           (if r = 0 then 0 else 1 lsl r));
+      Array.iteri
+        (fun c h ->
+          let b = Hist.buckets h in
+          let v = if r < Array.length b then b.(r) else 0 in
+          if v > 0 then begin
+            let x = left + (c * cell_w) in
+            let shade =
+              (* log-scaled intensity so sparse cells stay visible *)
+              0.25 +. (0.75 *. log (1. +. float_of_int v) /. log (1. +. float_of_int peak))
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#4e79a7\" \
+                  fill-opacity=\"%.3f\"><title>[%d,%d) s: %d</title></rect>\n"
+                 x y (cell_w - 1) (cell_h - 1) shade (if r = 0 then 0 else 1 lsl r)
+                 (1 lsl (r + 1)) v)
+          end)
+        merged
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" fill=\"#333333\">t=%d</text><text x=\"%d\" y=\"%d\" \
+          fill=\"#333333\" text-anchor=\"end\">t=%d</text>\n"
+         left
+         (height - 8)
+         windows.(0)
+         (left + (n_w * cell_w))
+         (height - 8)
+         windows.(n_w - 1));
+    Buffer.add_string buf "</svg>\n";
+    Buffer.contents buf
+  end
+
+(* Per-site polyline over the time windows. *)
+let timeline_svg ~label ~fmt ~value samples =
+  let windows = Array.of_list (windows_of samples) in
+  let sites = sites_of samples in
+  let n_w = Array.length windows in
+  if n_w = 0 then "<svg width=\"10\" height=\"10\"></svg>"
+  else begin
+    let peak =
+      List.fold_left (fun acc s -> Float.max acc (value s)) 1e-9 samples
+    in
+    let left = 70 and top = 10 and plot_h = 120 and bottom = 24 in
+    let step = max 4 (min 24 (900 / n_w)) in
+    let width = left + (n_w * step) + 8 in
+    let height = top + plot_h + bottom in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+          font-family=\"monospace\" font-size=\"10\">\n"
+         width height);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#cccccc\"/>\n" left
+         (top + plot_h)
+         (left + (n_w * step))
+         (top + plot_h));
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"4\" y=\"%d\" fill=\"#333333\">%s</text>\n" (top + 10)
+         (fmt peak));
+    List.iteri
+      (fun si site ->
+        let color = palette.(si mod Array.length palette) in
+        let points = Buffer.create 256 in
+        Array.iteri
+          (fun c w ->
+            match
+              List.find_opt (fun s -> s.site = site && s.t_end = w) samples
+            with
+            | None -> ()
+            | Some s ->
+                let x = left + (c * step) in
+                let y =
+                  top + plot_h - int_of_float (float_of_int plot_h *. value s /. peak)
+                in
+                Buffer.add_string points (Printf.sprintf "%d,%d " x y))
+          windows;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" points=\"%s\"/>\n"
+             color (Buffer.contents points));
+        Buffer.add_string buf
+          (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"%s\">site %d</text>\n"
+             (left + 4 + (si * 60))
+             (top + plot_h + 16)
+             color site))
+      sites;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"%d\" fill=\"#333333\" text-anchor=\"end\">%s</text>\n"
+         (left + (n_w * step))
+         (top + 10) (html_escape label));
+    Buffer.add_string buf "</svg>\n";
+    Buffer.contents buf
+  end
+
+let html ~title samples =
+  let h = headline samples in
+  let headline_pre =
+    Printf.sprintf
+      "samples        %d\nserved         %d\nshed           %d (rate %.4f)\nmax queue      \
+       %d\np999 sojourn   %.0f s\noccupancy      mean %.3f  peak %.3f\n"
+      h.h_samples h.h_served h.h_shed h.h_shed_rate h.h_max_queue_depth h.h_p999_sojourn
+      h.h_mean_occupancy h.h_peak_occupancy
+  in
+  String.concat ""
+    [
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/><title>";
+      html_escape title;
+      "</title>\n<style>body{font-family:monospace;margin:2em}h2{border-bottom:1px solid \
+       #ccc}pre{background:#f7f7f7;padding:1em;overflow-x:auto}</style></head>\n<body>\n<h1>";
+      html_escape title;
+      "</h1>\n<h2>Headline</h2>\n<pre>";
+      html_escape headline_pre;
+      "</pre>\n<h2>Sojourn heatmap (log2-second buckets &#215; time windows)</h2>\n";
+      heatmap_svg samples;
+      "\n<h2>Queue depth (peak per window, per site)</h2>\n";
+      timeline_svg ~label:"queue peak"
+        ~fmt:(fun p -> Printf.sprintf "%.0f" p)
+        ~value:(fun s -> float_of_int s.queue_peak)
+        samples;
+      "\n<h2>Calendar occupancy (busy fraction per window, per site)</h2>\n";
+      timeline_svg ~label:"occupancy"
+        ~fmt:(fun p -> Printf.sprintf "%.2f" p)
+        ~value:(fun s -> s.occupancy)
+        samples;
+      "\n</body></html>\n";
+    ]

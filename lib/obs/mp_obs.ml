@@ -49,17 +49,25 @@ type hist_state = {
   h_buckets : int array;
 }
 
+(* Span events are [event_stride] ints each: span id, start ns, duration
+   ns, tag request id, tag site ([no_tag] when the event was recorded
+   outside a {!Tag} scope). *)
+let event_stride = 5
+let no_tag = min_int
+
 type buffer = {
   domain : int;
   mutable counts : int array;  (* indexed by counter id *)
   mutable hists : hist_state option array;  (* indexed by timer id *)
-  (* complete span events, 3 ints each: span id, start ns, duration ns *)
-  mutable events : int array;
+  mutable events : int array;  (* complete span events, [event_stride] ints each *)
   mutable n_events : int;  (* ints used in [events] *)
   (* span stack: ids and enter timestamps, innermost last *)
   mutable stack_ids : int array;
   mutable stack_ts : int array;
   mutable depth : int;
+  (* request-scoped tag recorded on every span event of this domain *)
+  mutable tag_req : int;
+  mutable tag_site : int;
 }
 
 let buffers : buffer list ref = ref []
@@ -83,6 +91,8 @@ let key : buffer Domain.DLS.key =
           stack_ids = Array.make 16 0;
           stack_ts = Array.make 16 0;
           depth = 0;
+          tag_req = no_tag;
+          tag_site = no_tag;
         }
       in
       Mutex.lock mutex;
@@ -115,6 +125,21 @@ module Counter = struct
 
   let[@inline] add t n = if !enabled then add_on t n
   let[@inline] incr t = if !enabled then add_on t 1
+
+  let find name =
+    Mutex.lock mutex;
+    let rec scan i =
+      if i >= counters.n then None
+      else if counters.names.(i) = name then Some i
+      else scan (i + 1)
+    in
+    let id = scan 0 in
+    Mutex.unlock mutex;
+    id
+
+  let local t =
+    let b = buf () in
+    if t < Array.length b.counts then b.counts.(t) else 0
 end
 
 (* --- timers ----------------------------------------------------------- *)
@@ -124,6 +149,91 @@ end
 let bucket_of ns =
   let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
   if ns <= 1 then 0 else go 0 ns
+
+(* Quantile estimate shared by {!Snapshot.percentile} and
+   {!Hist.percentile}: geometric midpoint of the log2 bucket holding the
+   quantile, clamped to the recorded max. *)
+let percentile_of_buckets ~count ~max_sample ~buckets q =
+  if count = 0 then nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+    let n = Array.length buckets in
+    let rec go i acc =
+      if i >= n then float_of_int max_sample
+      else begin
+        let acc = acc + buckets.(i) in
+        if acc >= target then
+          (* geometric midpoint of [2^i, 2^(i+1)) *)
+          if i = 0 then 1.
+          else Float.min (float_of_int max_sample) (sqrt 2. *. Float.pow 2. (float_of_int i))
+        else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+module Hist = struct
+  type t = hist_state
+
+  let create () = { h_count = 0; h_total = 0; h_max = 0; h_buckets = Array.make n_buckets 0 }
+
+  let clear h =
+    h.h_count <- 0;
+    h.h_total <- 0;
+    h.h_max <- 0;
+    Array.fill h.h_buckets 0 n_buckets 0
+
+  let add h v =
+    let v = max 0 v in
+    h.h_count <- h.h_count + 1;
+    h.h_total <- h.h_total + v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bucket_of v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+  let count h = h.h_count
+  let total h = h.h_total
+  let max_sample h = h.h_max
+  let buckets h = Array.copy h.h_buckets
+
+  let merge_into ~into h =
+    into.h_count <- into.h_count + h.h_count;
+    into.h_total <- into.h_total + h.h_total;
+    if h.h_max > into.h_max then into.h_max <- h.h_max;
+    Array.iteri (fun i n -> into.h_buckets.(i) <- into.h_buckets.(i) + n) h.h_buckets
+
+  let percentile h q =
+    percentile_of_buckets ~count:h.h_count ~max_sample:h.h_max ~buckets:h.h_buckets q
+end
+
+module Summary = struct
+  type t = { count : int; mean : float; p50 : int; p99 : int; p999 : int; max : int }
+
+  (* Nearest-rank percentile of an ascending-sorted sample array —
+     exactly the estimator the bench and serve reports used before it was
+     extracted here, so baselines compare like for like. *)
+  let percentile a p =
+    let n = Array.length a in
+    if n = 0 then 0 else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+  let of_samples samples =
+    let a = Array.copy samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then { count = 0; mean = 0.; p50 = 0; p99 = 0; p999 = 0; max = 0 }
+    else
+      {
+        count = n;
+        mean = float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int n;
+        p50 = percentile a 0.50;
+        p99 = percentile a 0.99;
+        p999 = percentile a 0.999;
+        max = a.(n - 1);
+      }
+
+  let of_list samples = of_samples (Array.of_list samples)
+end
 
 module Timer = struct
   type t = int
@@ -181,15 +291,19 @@ module Span = struct
     if b.depth > 0 && b.stack_ids.(b.depth - 1) = t then begin
       b.depth <- b.depth - 1;
       let t0 = b.stack_ts.(b.depth) in
-      if b.n_events >= 3 * !event_cap then Counter.incr c_dropped
+      if b.n_events >= event_stride * !event_cap then Counter.incr c_dropped
       else begin
-        if b.n_events + 3 > Array.length b.events then
+        if b.n_events + event_stride > Array.length b.events then
           b.events <-
-            grow_int_array b.events (max 48 (min (3 * !event_cap) (2 * Array.length b.events)));
+            grow_int_array b.events
+              (max (16 * event_stride)
+                 (min (event_stride * !event_cap) (2 * Array.length b.events)));
         b.events.(b.n_events) <- t;
         b.events.(b.n_events + 1) <- t0;
         b.events.(b.n_events + 2) <- max 0 (now_ns () - t0);
-        b.n_events <- b.n_events + 3
+        b.events.(b.n_events + 3) <- b.tag_req;
+        b.events.(b.n_events + 4) <- b.tag_site;
+        b.n_events <- b.n_events + event_stride
       end
     end
 
@@ -209,6 +323,24 @@ module Span = struct
     end
 end
 
+(* --- request-scoped tags ---------------------------------------------- *)
+
+module Tag = struct
+  let[@inline never] set_on req site =
+    let b = buf () in
+    b.tag_req <- req;
+    b.tag_site <- site
+
+  let[@inline] set ~req ~site = if !enabled then set_on req site
+
+  let[@inline never] clear_on () =
+    let b = buf () in
+    b.tag_req <- no_tag;
+    b.tag_site <- no_tag
+
+  let[@inline] clear () = if !enabled then clear_on ()
+end
+
 (* --- reset ------------------------------------------------------------ *)
 
 let reset () =
@@ -226,7 +358,9 @@ let reset () =
               Array.fill h.h_buckets 0 n_buckets 0)
         b.hists;
       b.n_events <- 0;
-      b.depth <- 0)
+      b.depth <- 0;
+      b.tag_req <- no_tag;
+      b.tag_site <- no_tag)
     !buffers;
   Mutex.unlock mutex
 
@@ -241,7 +375,13 @@ module Snapshot = struct
     buckets : int array;
   }
 
-  type event = { span_name : string; domain : int; start_ns : int; dur_ns : int }
+  type event = {
+    span_name : string;
+    domain : int;
+    start_ns : int;
+    dur_ns : int;
+    tag : (int * int) option;  (* (request id, site) when recorded in a Tag scope *)
+  }
 
   type t = { counters : (string * int) list; hists : hist list; events : event list }
 
@@ -284,12 +424,15 @@ module Snapshot = struct
     let events =
       List.concat_map
         (fun (b : buffer) ->
-          List.init (b.n_events / 3) (fun k ->
+          List.init (b.n_events / event_stride) (fun k ->
+              let o = event_stride * k in
+              let req = b.events.(o + 3) and site = b.events.(o + 4) in
               {
-                span_name = spans.names.(b.events.(3 * k));
+                span_name = spans.names.(b.events.(o));
                 domain = b.domain;
-                start_ns = b.events.((3 * k) + 1);
-                dur_ns = b.events.((3 * k) + 2);
+                start_ns = b.events.(o + 1);
+                dur_ns = b.events.(o + 2);
+                tag = (if req = no_tag then None else Some (req, site));
               }))
         bufs
     in
@@ -335,23 +478,7 @@ module Snapshot = struct
     { counters; hists; events = drop n_prev t.events }
 
   let percentile h q =
-    if h.count = 0 then nan
-    else begin
-      let q = Float.max 0. (Float.min 1. q) in
-      let target = int_of_float (ceil (q *. float_of_int h.count)) in
-      let target = max 1 target in
-      let rec go i acc =
-        if i >= n_buckets then float_of_int h.max_ns
-        else begin
-          let acc = acc + h.buckets.(i) in
-          if acc >= target then
-            (* geometric midpoint of [2^i, 2^(i+1)) *)
-            if i = 0 then 1. else Float.min (float_of_int h.max_ns) (sqrt 2. *. Float.pow 2. (float_of_int i))
-          else go (i + 1) acc
-        end
-      in
-      go 0 0
-    end
+    percentile_of_buckets ~count:h.count ~max_sample:h.max_ns ~buckets:h.buckets q
 end
 
 (* --- reports ---------------------------------------------------------- *)
@@ -478,12 +605,17 @@ module Trace = struct
       domains;
     List.iter
       (fun (e : Snapshot.event) ->
+        let args =
+          match e.tag with
+          | None -> ""
+          | Some (req, site) -> Printf.sprintf ",\"args\":{\"req\":%d,\"site\":%d}" req site
+        in
         emit
           (Printf.sprintf
-             "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"name\":\"%s\",\"cat\":\"mpres\",\"ts\":%.3f,\"dur\":%.3f}"
+             "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"name\":\"%s\",\"cat\":\"mpres\",\"ts\":%.3f,\"dur\":%.3f%s}"
              e.domain (Report.json_escape e.span_name)
              (float_of_int e.start_ns /. 1e3)
-             (float_of_int e.dur_ns /. 1e3)))
+             (float_of_int e.dur_ns /. 1e3) args))
       s.events;
     Buffer.add_string buf "\n]}\n";
     Buffer.contents buf

@@ -70,6 +70,18 @@ module Counter : sig
   (** Add one; no-op with no allocation when {!enabled} is false. *)
 
   val add : t -> int -> unit
+
+  val find : string -> t option
+  (** Look up an already-registered counter by name (cold path, takes the
+      global mutex).  Lets a consumer observe a counter owned by another
+      library — e.g. the engine reading ["index.node_visits"] — without
+      double-registering it. *)
+
+  val local : t -> int
+  (** The calling domain's accumulated value for [t] (not summed across
+      domains, unlike {!Snapshot.take}).  Always readable; [0] when the
+      domain never bumped it.  Useful for per-domain deltas on code known
+      to run sequentially on one domain. *)
 end
 
 (** Latency timers aggregated into log₂-bucketed histograms. *)
@@ -102,7 +114,80 @@ module Span : sig
 
   val wrap : t -> (unit -> 'a) -> 'a
   (** [wrap t f] is [f ()] between {!enter} and {!exit} (the exit also
-      runs on exception).  When disabled it is exactly [f ()]. *)
+      runs on exception).  When disabled it is exactly [f ()].  Note the
+      closure argument allocates even when disabled — hot paths should
+      use explicit {!enter}/{!exit} pairs instead. *)
+end
+
+(** Request-scoped tags stamped onto span events.
+
+    [Tag.set ~req ~site] marks the calling domain so that every span
+    event recorded until {!Tag.clear} carries the (request id, site)
+    pair — {!Trace.to_chrome} emits them as trace-event [args], which
+    lets Perfetto filter one request's admission → fit → commit tree out
+    of a soak.  Like every probe, set/clear are one load-and-branch with
+    no allocation when {!enabled} is false, and tags are record-only:
+    nothing ever reads them back into scheduling decisions. *)
+module Tag : sig
+  val set : req:int -> site:int -> unit
+  (** Stamp subsequent span events of this domain.  Pass [site:(-1)]
+      (or any sentinel the consumer chooses) when no site applies. *)
+
+  val clear : unit -> unit
+  (** Stop stamping; subsequent events carry no tag. *)
+end
+
+(** Standalone log₂-bucketed histograms, decoupled from the probe
+    switch.
+
+    Same bucket layout as {!Timer} histograms ([buckets.(i)] holds
+    samples in [\[2{^i}, 2{^i+1})]), but owned by the caller and always
+    on — the scheduling service uses them to accumulate {e simulated}
+    sojourn times, which must be recorded deterministically whether or
+    not tracing is enabled.  Not thread-safe; confine each value to one
+    domain. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+
+  val add : t -> int -> unit
+  (** Record one sample (negative values clamp to 0). *)
+
+  val count : t -> int
+  val total : t -> int
+  val max_sample : t -> int
+
+  val buckets : t -> int array
+  (** Copy of the 64 bucket counts. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Pointwise-add [t] into [into] (counts, totals, max). *)
+
+  val percentile : t -> float -> float
+  (** Same estimator as {!Snapshot.percentile}: geometric midpoint of
+      the bucket holding the quantile, clamped to the max sample; [nan]
+      when empty. *)
+end
+
+(** Exact summaries of small integer sample sets.
+
+    Where {!Hist} trades precision for constant space, [Summary] sorts
+    the raw samples and reads nearest-rank percentiles exactly — the
+    estimator the bench harness and [mpres serve] report wall-clock
+    latencies with. *)
+module Summary : sig
+  type t = { count : int; mean : float; p50 : int; p99 : int; p999 : int; max : int }
+
+  val percentile : int array -> float -> int
+  (** [percentile a q] on an {e ascending-sorted} array: nearest-rank
+      [a.(min (n-1) (floor (q*n)))]; [0] when empty. *)
+
+  val of_samples : int array -> t
+  (** Sorts a copy of the input; the input is not modified. *)
+
+  val of_list : int list -> t
 end
 
 (** Merged view of every domain's buffer. *)
@@ -117,7 +202,15 @@ module Snapshot : sig
             [\[2{^i}, 2{^i+1})] ([buckets.(0)] also holds 0 and 1 ns). *)
   }
 
-  type event = { span_name : string; domain : int; start_ns : int; dur_ns : int }
+  type event = {
+    span_name : string;
+    domain : int;
+    start_ns : int;
+    dur_ns : int;
+    tag : (int * int) option;
+        (** [(request id, site)] stamped by {!Tag.set}, [None] for events
+            recorded outside any tag scope. *)
+  }
 
   type t = {
     counters : (string * int) list;  (** registration order, summed over domains *)
@@ -161,7 +254,9 @@ module Trace : sig
   val to_chrome : Snapshot.t -> string
   (** JSON object with a [traceEvents] array of complete ("ph":"X")
       events, one [tid] per domain (named tracks), timestamps in
-      microseconds — loadable in [chrome://tracing] and Perfetto. *)
+      microseconds — loadable in [chrome://tracing] and Perfetto.
+      Tagged events carry [{"args":{"req":N,"site":M}}] so one request's
+      span tree can be filtered out of a service soak. *)
 
   val write_chrome : string -> Snapshot.t -> unit
   (** [write_chrome path snapshot] writes {!to_chrome} to [path]. *)

@@ -35,8 +35,23 @@
     {!Mp_obs.Span} and ["service.handle"] {!Mp_obs.Timer} and bumps one
     ["service.<kind>"] counter per response ([service.granted],
     [service.rejected], ...); granted/rejected [Reserve]s are recorded
-    with {!Mp_forensics.Journal.grant}.  All record-only: tracing cannot
-    change any decision. *)
+    with {!Mp_forensics.Journal.grant}.  Under {!run}, each envelope's
+    admission decision is the ["service.admission"] span, fit queries and
+    calendar mutations inside dispatch are ["service.fit"] and
+    ["service.commit"] child spans, and all of a request's spans carry its
+    envelope id and site as a trace tag ({!Mp_obs.Tag}), so one request's
+    admission → fit → commit tree can be filtered out of a soak in
+    Perfetto.  All record-only: tracing cannot change any decision.
+
+    {2 Telemetry}
+
+    Independent of tracing (and always on), each site keeps per-kind
+    response counts, shed causes, simulated queue depth/peak and a
+    bounded flight-recorder ring of the last 64 outcome digests — all
+    simulated-time quantities mutated only from the site's own
+    sequential stream, introspectable in-band with {!Request.Stats} and
+    sampled into a time series by {!run}[ ~stats] (see {!Stats}).
+    Record-only, like the probes: no scheduling decision reads them. *)
 
 (** One site of the service: a live calendar plus the processor budget
     handed to DAG schedulers. *)
@@ -94,7 +109,11 @@ val handle : t -> site:int -> Request.t -> Response.t
       [Error] naming the reservation when it is not held;
     - [Submit_dag]: run the injected handler, then commit the scheduled
       reservations to the site calendar;
-    - [Explain]: run the injected handler, calendar untouched.
+    - [Explain]: run the injected handler, calendar untouched;
+    - [Stats]: snapshot the site's telemetry state (per-kind counts,
+      shed causes, queue depth/peak, held reservations, calendar
+      breakpoints, last [last] flight-recorder digests), calendar
+      untouched.
 
     An out-of-range [site] answers [Error] (and is counted against no
     site). *)
@@ -113,10 +132,36 @@ type outcome = {
           record-only *)
 }
 
+(** Deterministic telemetry time series of a {!run}.
+
+    A sink collects one {!Mp_forensics.Telemetry.sample} per site per
+    [every] simulated seconds: per-kind response counts, shed causes,
+    queue depth/peak, calendar occupancy and breakpoints, index-visit
+    deltas and the sojourn (finish − arrival) histogram of the window.
+    Each site's worker writes only its own slot, so collection adds no
+    cross-site mutable state: the series is bit-identical for any pool
+    size and across a dump/replay pair (pinned in [test_service.ml]).
+    Simulated time only — wall-clock never enters a sample. *)
+module Stats : sig
+  type sink
+
+  val sink : every:int -> unit -> sink
+  (** A fresh sink sampling every [every] simulated seconds (window ends
+      at [every], [2*every], ...).  Raises [Invalid_argument] when
+      [every < 1].  Reusable: each {!run} replaces its contents. *)
+
+  val samples : sink -> Mp_forensics.Telemetry.sample list
+  (** The last run's series, sorted by ⟨window end, site⟩.  Sites emit
+      windows from the first sampling boundary up to the one containing
+      their last simulated activity (max of last arrival and server
+      drain); a site with no envelopes emits nothing. *)
+end
+
 val run :
   ?pool:Mp_prelude.Pool.t ->
   ?queue_limit:int ->
   ?measure:bool ->
+  ?stats:Stats.sink ->
   t ->
   Request.envelope list ->
   outcome list
@@ -129,7 +174,8 @@ val run :
     when its simulated queue delay would exceed the budget.  Envelopes
     naming an unknown site come back as [Error] outcomes.  Outcomes are
     returned in envelope-id order.  [measure] (default [false]) records
-    per-request wall-clock.  One batch at a time per engine. *)
+    per-request wall-clock.  [stats] collects the telemetry time series
+    of this run.  One batch at a time per engine. *)
 
 val requests : t -> int
 (** Requests serviced so far, summed over sites ({!handle} calls; shed

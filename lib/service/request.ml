@@ -10,6 +10,7 @@ type t =
   | Probe of { start : int; dur : int; procs : int }
   | Cancel of { start : int; finish : int; procs : int }
   | Explain of { dag : Dag.t; algo : string; deadline : int option; format : string }
+  | Stats of { last : int }
 
 let kind = function
   | Submit_dag _ -> "submit_dag"
@@ -17,9 +18,10 @@ let kind = function
   | Probe _ -> "probe"
   | Cancel _ -> "cancel"
   | Explain _ -> "explain"
+  | Stats _ -> "stats"
 
 let cost = function
-  | Reserve _ | Probe _ | Cancel _ -> 1
+  | Reserve _ | Probe _ | Cancel _ | Stats _ -> 1
   | Submit_dag { dag; _ } | Explain { dag; _ } -> Dag.n dag
 
 type envelope = { id : int; site : int; arrival : int; budget : int option; payload : t }
@@ -110,6 +112,7 @@ let to_json r =
           ("format", Json.Str format);
           ("dag", dag_to_json dag);
         ]
+  | Stats { last } -> Json.Obj [ tag; n "last" last ]
 
 let req_int j name =
   match Json.int_ j name with
@@ -148,6 +151,9 @@ let of_json j =
           let* dag = dag_of_json dj in
           Ok (Explain { dag; algo; deadline; format })
       | _ -> Error "explain: missing algo, format, or dag")
+  | Some "stats" ->
+      let* last = req_int j "last" in
+      Ok (Stats { last })
   | Some other -> Error (Printf.sprintf "unknown request kind %S" other)
 
 let envelope_to_json e =

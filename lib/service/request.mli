@@ -39,6 +39,13 @@ type t =
           rendered forensics report ([format] is [text|json|svg|html]);
           [deadline = None] resolves the tightest deadline for
           RESSCHEDDL algorithms.  Never changes the calendar. *)
+  | Stats of { last : int }
+      (** in-band introspection: a {!Response.Stats} snapshot of the
+          site's per-kind response counts, shed causes, queue depth and
+          calendar occupancy, plus the last [min last K] outcomes from
+          the site's bounded flight-recorder ring ([last = 0] for none).
+          Never changes the calendar; counts as one simulated second of
+          service like the other point operations. *)
 
 val kind : t -> string
 (** Short lowercase tag (["submit_dag"], ["reserve"], ...) — the JSON

@@ -1,6 +1,20 @@
 module Json = Mp_prelude.Json
 module Schedule = Mp_cpa.Schedule
 
+type digest = { d_id : int; d_arrival : int; d_started : int; d_outcome : string }
+
+type stats = {
+  requests : int;
+  counts : (string * int) list;
+  shed_queue : int;
+  shed_budget : int;
+  queue_depth : int;
+  queue_peak : int;
+  held : int;
+  breakpoints : int;
+  recent : digest list;
+}
+
 type t =
   | Granted
   | Rejected of int option
@@ -10,6 +24,7 @@ type t =
   | Cancelled
   | Explained of string
   | Overloaded
+  | Stats of stats
   | Error of string
 
 let kind = function
@@ -21,7 +36,26 @@ let kind = function
   | Cancelled -> "cancelled"
   | Explained _ -> "explained"
   | Overloaded -> "overloaded"
+  | Stats _ -> "stats"
   | Error _ -> "error"
+
+(* Canonical kind order: index into the engine's per-site count array and
+   the order [Stats.counts] is reported in. *)
+let kinds =
+  [
+    "granted"; "rejected"; "available"; "scheduled"; "infeasible"; "cancelled"; "explained";
+    "overloaded"; "stats"; "error";
+  ]
+
+let n_kinds = List.length kinds
+
+let kind_index r =
+  let k = kind r in
+  let rec go i = function
+    | [] -> assert false
+    | k' :: tl -> if k = k' then i else go (i + 1) tl
+  in
+  go 0 kinds
 
 let int_opt = function None -> Json.Null | Some i -> Json.Num (float_of_int i)
 
@@ -47,6 +81,28 @@ let to_json r =
   | Infeasible { algo; deadline } ->
       Json.Obj [ tag; ("algo", Json.Str algo); ("deadline", int_opt deadline) ]
   | Explained report -> Json.Obj [ tag; ("report", Json.Str report) ]
+  | Stats s ->
+      let digest d =
+        Json.Arr
+          [
+            Num (float_of_int d.d_id); Num (float_of_int d.d_arrival);
+            Num (float_of_int d.d_started); Str d.d_outcome;
+          ]
+      in
+      let n v = Json.Num (float_of_int v) in
+      Json.Obj
+        [
+          tag;
+          ("requests", n s.requests);
+          ("counts", Json.Obj (List.map (fun (k, v) -> (k, n v)) s.counts));
+          ("shed_queue", n s.shed_queue);
+          ("shed_budget", n s.shed_budget);
+          ("queue_depth", n s.queue_depth);
+          ("queue_peak", n s.queue_peak);
+          ("held", n s.held);
+          ("breakpoints", n s.breakpoints);
+          ("recent", Json.Arr (List.map digest s.recent));
+        ]
   | Error msg -> Json.Obj [ tag; ("message", Json.Str msg) ]
 
 let to_string r = Json.to_string (to_json r)
@@ -100,6 +156,61 @@ let of_json j =
       match Json.str j "report" with
       | Some report -> Ok (Explained report)
       | None -> Result.Error "explained response: missing report")
+  | Some "stats" ->
+      let req name =
+        match Json.int_ j name with
+        | Some v -> Ok v
+        | None -> Result.Error (Printf.sprintf "stats response: field %S must be an int" name)
+      in
+      let* requests = req "requests" in
+      let* counts =
+        match Json.obj j "counts" with
+        | None -> Result.Error "stats response: missing counts"
+        | Some fields ->
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                match Json.to_int v with
+                | Some v -> Ok ((k, v) :: acc)
+                | None -> Result.Error "stats response: counts must be ints")
+              (Ok []) fields
+            |> Result.map List.rev
+      in
+      let* shed_queue = req "shed_queue" in
+      let* shed_budget = req "shed_budget" in
+      let* queue_depth = req "queue_depth" in
+      let* queue_peak = req "queue_peak" in
+      let* held = req "held" in
+      let* breakpoints = req "breakpoints" in
+      let* recent =
+        match Json.arr j "recent" with
+        | None -> Result.Error "stats response: missing recent"
+        | Some l ->
+            List.fold_left
+              (fun acc dj ->
+                let* acc = acc in
+                match dj with
+                | Json.Arr [ Json.Num id; Json.Num arrival; Json.Num started; Json.Str outcome ]
+                  ->
+                    Ok
+                      ({
+                         d_id = int_of_float id;
+                         d_arrival = int_of_float arrival;
+                         d_started = int_of_float started;
+                         d_outcome = outcome;
+                       }
+                      :: acc)
+                | _ ->
+                    Result.Error "stats response: digest must be [id,arrival,started,outcome]")
+              (Ok []) l
+            |> Result.map List.rev
+      in
+      Ok
+        (Stats
+           {
+             requests; counts; shed_queue; shed_budget; queue_depth; queue_peak; held;
+             breakpoints; recent;
+           })
   | Some "error" -> (
       match Json.str j "message" with
       | Some msg -> Ok (Error msg)

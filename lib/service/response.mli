@@ -12,6 +12,32 @@
     ({!Mp_prelude.Json}); {!of_json}[ (]{!to_json}[ r) = Ok r] for every
     response (pinned by a qcheck property in [test_service.ml]). *)
 
+(** One entry of a site's bounded flight-recorder ring: the digest of a
+    recently served request (everything except a {!Request.Stats}). *)
+type digest = {
+  d_id : int;  (** envelope id *)
+  d_arrival : int;  (** simulated arrival time *)
+  d_started : int;  (** simulated time service started (≥ arrival) *)
+  d_outcome : string;  (** {!kind} of the response it received *)
+}
+
+(** The payload of a {!Stats} response — one site's live counters at the
+    simulated instant the {!Request.Stats} was served.  All fields are
+    integers (no floats) so the JSON round-trip is exact and a dumped
+    trace replays bit-identically. *)
+type stats = {
+  requests : int;  (** requests served so far, including this one *)
+  counts : (string * int) list;
+      (** per-response-kind totals in {!kinds} order, zero counts kept *)
+  shed_queue : int;  (** requests shed because the bounded queue was full *)
+  shed_budget : int;  (** requests shed because their queue-delay budget ran out *)
+  queue_depth : int;  (** in-flight queue depth at service time *)
+  queue_peak : int;  (** maximum queue depth seen so far *)
+  held : int;  (** point reservations currently held (cancel targets) *)
+  breakpoints : int;  (** availability breakpoints in the site's calendar *)
+  recent : digest list;  (** flight-recorder tail, oldest first, ≤ [last] entries *)
+}
+
 type t =
   | Granted
       (** a {!Request.Reserve} was placed; the site's live calendar is
@@ -41,6 +67,8 @@ type t =
       (** admission control shed the request: the site's bounded
           in-flight queue was full, or the request's queue-delay budget
           was exceeded before service could start *)
+  | Stats of stats
+      (** answer to a {!Request.Stats} introspection request *)
   | Error of string
       (** malformed or unserviceable request (unknown algorithm, unknown
           site, cancel of a reservation that is not held, ...) *)
@@ -48,6 +76,16 @@ type t =
 val kind : t -> string
 (** Short lowercase tag (["granted"], ["rejected"], ...) — the JSON
     discriminator, also used for response-count summaries. *)
+
+val kinds : string list
+(** Every kind tag in canonical order (the order {!stats.counts} is
+    reported in); [List.nth kinds (kind_index r) = kind r]. *)
+
+val n_kinds : int
+
+val kind_index : t -> int
+(** Position of [kind r] in {!kinds} — the engine's per-site count
+    arrays are indexed by it. *)
 
 val to_json : t -> Mp_prelude.Json.t
 val to_string : t -> string

@@ -424,6 +424,81 @@ let test_cli_explain_formats () =
   Alcotest.(check bool) "jsonl has analytics" true (contains jsonl "\"event\":\"analytics\"")
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: JSONL rendering, headline summary, dashboard *)
+
+module Telemetry = Mp_forensics.Telemetry
+
+let telemetry_sample ~site ~t_end ?(served = []) ?(shed_queue = 0) ?(queue_peak = 0)
+    ?(occupancy = 0.) ?(sojourns = []) () =
+  let sojourn = Mp_obs.Hist.create () in
+  List.iter (Mp_obs.Hist.add sojourn) sojourns;
+  {
+    Telemetry.site;
+    t_end;
+    window = 60;
+    served;
+    shed_queue;
+    shed_budget = 0;
+    queue_depth = 0;
+    queue_peak;
+    occupancy;
+    breakpoints = 1;
+    index_visits = 0;
+    sojourn;
+  }
+
+let telemetry_series () =
+  [
+    telemetry_sample ~site:0 ~t_end:60
+      ~served:[ ("granted", 3); ("rejected", 1) ]
+      ~queue_peak:2 ~occupancy:0.5 ~sojourns:[ 1; 2; 40 ] ();
+    telemetry_sample ~site:1 ~t_end:60 ();
+    telemetry_sample ~site:0 ~t_end:120
+      ~served:[ ("granted", 1) ]
+      ~shed_queue:2 ~queue_peak:5 ~occupancy:1.0 ~sojourns:[ 700 ] ();
+  ]
+
+let test_telemetry_jsonl () =
+  let samples = telemetry_series () in
+  let jsonl = Telemetry.to_jsonl samples in
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  Alcotest.(check int) "one line per sample" (List.length samples) (List.length lines);
+  List.iter
+    (fun line ->
+      match Mp_prelude.Json.of_string line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "unparseable sample line: %s (%s)" line msg)
+    lines;
+  Alcotest.(check bool) "zero served counts dropped" false (contains jsonl "\"rejected\":0");
+  Alcotest.(check bool) "sparse sojourn buckets" true (contains jsonl "\"buckets\":[[");
+  Alcotest.(check string) "empty series renders empty" "" (Telemetry.to_jsonl [])
+
+let test_telemetry_headline () =
+  let h = Telemetry.headline (telemetry_series ()) in
+  Alcotest.(check int) "samples" 3 h.Telemetry.h_samples;
+  Alcotest.(check int) "served sums windows" 5 h.Telemetry.h_served;
+  Alcotest.(check int) "shed sums causes" 2 h.Telemetry.h_shed;
+  Alcotest.(check (float 1e-9)) "shed rate" (2. /. 7.) h.Telemetry.h_shed_rate;
+  Alcotest.(check int) "max queue depth is the peak" 5 h.Telemetry.h_max_queue_depth;
+  Alcotest.(check (float 1e-9)) "peak occupancy" 1.0 h.Telemetry.h_peak_occupancy;
+  (* 4 sojourn samples, sorted 1 2 40 700: p999 lands in 700's bucket *)
+  Alcotest.(check bool) "p999 in the top sample's bucket" true
+    (h.Telemetry.h_p999_sojourn >= 512. && h.Telemetry.h_p999_sojourn <= 700.);
+  let empty = Telemetry.headline [] in
+  Alcotest.(check int) "empty series" 0 empty.Telemetry.h_samples;
+  Alcotest.(check (float 1e-9)) "empty shed rate" 0. empty.Telemetry.h_shed_rate
+
+let test_telemetry_html () =
+  let html = Telemetry.html ~title:"soak" (telemetry_series ()) in
+  Alcotest.(check bool) "is a document" true (contains html "<!DOCTYPE html>");
+  Alcotest.(check bool) "has the title" true (contains html "soak");
+  Alcotest.(check bool) "has svg panels" true (contains html "<svg");
+  Alcotest.(check bool) "has the headline block" true (contains html "shed");
+  (* an empty series must still render a well-formed document *)
+  let empty = Telemetry.html ~title:"empty" [] in
+  Alcotest.(check bool) "empty series renders" true (contains empty "<!DOCTYPE html>")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "mp_forensics"
@@ -447,6 +522,12 @@ let () =
         [
           Alcotest.test_case "svg edge cases" `Quick test_svg_edge_cases;
           Alcotest.test_case "svg from a real schedule" `Quick test_svg_from_real_schedule;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "jsonl" `Quick test_telemetry_jsonl;
+          Alcotest.test_case "headline" `Quick test_telemetry_headline;
+          Alcotest.test_case "html dashboard" `Quick test_telemetry_html;
         ] );
       ( "baseline",
         [

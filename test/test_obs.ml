@@ -109,6 +109,73 @@ let test_percentile_from_buckets () =
   Alcotest.(check bool) "empty hist -> nan" true (Float.is_nan (Obs.Snapshot.percentile empty 0.5))
 
 (* ------------------------------------------------------------------ *)
+(* Standalone histograms and exact summaries *)
+
+let test_hist_basics () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "fresh count" 0 (Obs.Hist.count h);
+  Alcotest.(check bool) "fresh percentile is nan" true
+    (Float.is_nan (Obs.Hist.percentile h 0.5));
+  List.iter (Obs.Hist.add h) [ 1; 20; 20; 1500; -5 ];
+  Alcotest.(check int) "count" 5 (Obs.Hist.count h);
+  (* -5 clamps to 0, so the total is 1 + 20 + 20 + 1500 *)
+  Alcotest.(check int) "total (negatives clamp to 0)" 1541 (Obs.Hist.total h);
+  Alcotest.(check int) "max sample" 1500 (Obs.Hist.max_sample h);
+  let buckets = Obs.Hist.buckets h in
+  Alcotest.(check int) "64 buckets" 64 (Array.length buckets);
+  Alcotest.(check int) "bucket counts sum to count" 5 (Array.fold_left ( + ) 0 buckets);
+  Alcotest.(check int) "0 and 1 land in bucket 0" 2 buckets.(0);
+  Alcotest.(check int) "20s land in [16,32)" 2 buckets.(4);
+  (* sorted samples: 0 1 20 20 1500 — the median lives in [16,32) *)
+  let p50 = Obs.Hist.percentile h 0.5 in
+  Alcotest.(check bool) "p50 inside [16,32)" true (p50 >= 16. && p50 < 32.);
+  (* buckets returns a copy: scribbling on it must not corrupt the hist *)
+  buckets.(0) <- 999;
+  Alcotest.(check int) "buckets is a copy" 2 (Obs.Hist.buckets h).(0)
+
+let test_hist_merge_and_clear () =
+  let a = Obs.Hist.create () and b = Obs.Hist.create () in
+  List.iter (Obs.Hist.add a) [ 3; 3 ];
+  List.iter (Obs.Hist.add b) [ 1_000_000 ];
+  Obs.Hist.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 3 (Obs.Hist.count a);
+  Alcotest.(check int) "merged total" 1_000_006 (Obs.Hist.total a);
+  Alcotest.(check int) "merged max" 1_000_000 (Obs.Hist.max_sample a);
+  Alcotest.(check int) "source untouched" 1 (Obs.Hist.count b);
+  (* the percentile estimate clamps to the observed max *)
+  Alcotest.(check bool) "p100 clamps to max" true
+    (Obs.Hist.percentile a 1.0 <= 1_000_000.);
+  Obs.Hist.clear a;
+  Alcotest.(check int) "clear zeroes count" 0 (Obs.Hist.count a);
+  Alcotest.(check int) "clear zeroes total" 0 (Obs.Hist.total a);
+  Alcotest.(check int) "clear zeroes buckets" 0
+    (Array.fold_left ( + ) 0 (Obs.Hist.buckets a))
+
+let test_summary_percentiles () =
+  (* nearest-rank on a sorted 0..999 array: p must index floor(q*n) *)
+  let a = Array.init 1000 (fun i -> i) in
+  Alcotest.(check int) "p50 of 0..999" 500 (Obs.Summary.percentile a 0.5);
+  Alcotest.(check int) "p99 of 0..999" 990 (Obs.Summary.percentile a 0.99);
+  Alcotest.(check int) "p999 of 0..999" 999 (Obs.Summary.percentile a 0.999);
+  Alcotest.(check int) "p0 of 0..999" 0 (Obs.Summary.percentile a 0.0);
+  Alcotest.(check int) "empty array -> 0" 0 (Obs.Summary.percentile [||] 0.5)
+
+let test_summary_of_samples () =
+  let input = [| 5; 1; 4; 2; 3 |] in
+  let s = Obs.Summary.of_samples input in
+  Alcotest.(check int) "count" 5 s.Obs.Summary.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Obs.Summary.mean;
+  Alcotest.(check int) "p50" 3 s.Obs.Summary.p50;
+  Alcotest.(check int) "p99 is the top sample" 5 s.Obs.Summary.p99;
+  Alcotest.(check int) "p999 is the top sample" 5 s.Obs.Summary.p999;
+  Alcotest.(check int) "max" 5 s.Obs.Summary.max;
+  Alcotest.(check (array int)) "input not mutated" [| 5; 1; 4; 2; 3 |] input;
+  let empty = Obs.Summary.of_list [] in
+  Alcotest.(check int) "empty count" 0 empty.Obs.Summary.count;
+  Alcotest.(check int) "empty p999" 0 empty.Obs.Summary.p999;
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 empty.Obs.Summary.mean
+
+(* ------------------------------------------------------------------ *)
 (* Spans *)
 
 let sp_outer = Obs.Span.make "test.span.outer"
@@ -165,6 +232,60 @@ let test_event_cap_counts_drops () =
   Obs.set_event_cap 1_000_000;
   Alcotest.(check int) "events capped" 8 (List.length snap.events);
   Alcotest.(check int) "drops counted" 12 (counter_value snap "obs.events.dropped")
+
+let test_tag_stamps_events () =
+  Obs.reset ();
+  Obs.with_enabled (fun () ->
+      Obs.Tag.set ~req:42 ~site:3;
+      Obs.Span.wrap sp_outer Fun.id;
+      Obs.Tag.clear ();
+      Obs.Span.wrap sp_inner Fun.id);
+  let snap = Obs.Snapshot.take () in
+  (match events_named snap "test.span.outer" with
+  | [ e ] ->
+      Alcotest.(check (option (pair int int))) "tagged event carries (req, site)"
+        (Some (42, 3)) e.Obs.Snapshot.tag
+  | es -> Alcotest.failf "expected one tagged event, got %d" (List.length es));
+  (match events_named snap "test.span.inner" with
+  | [ e ] ->
+      Alcotest.(check (option (pair int int))) "cleared tag -> None" None e.Obs.Snapshot.tag
+  | es -> Alcotest.failf "expected one untagged event, got %d" (List.length es));
+  (* the Chrome trace surfaces the tag as event args *)
+  let trace = Obs.Trace.to_chrome snap in
+  let contains hay needle = Re.execp (Re.compile (Re.str needle)) hay in
+  Alcotest.(check bool) "trace has tag args" true
+    (contains trace "\"args\":{\"req\":42,\"site\":3}")
+
+let test_tag_cleared_by_reset () =
+  Obs.reset ();
+  Obs.with_enabled (fun () -> Obs.Tag.set ~req:7 ~site:0);
+  Obs.reset ();
+  Obs.with_enabled (fun () -> Obs.Span.wrap sp_outer Fun.id);
+  let snap = Obs.Snapshot.take () in
+  match events_named snap "test.span.outer" with
+  | [ e ] -> Alcotest.(check (option (pair int int))) "reset clears tags" None e.Obs.Snapshot.tag
+  | es -> Alcotest.failf "expected one event, got %d" (List.length es)
+
+(* The zero-overhead contract: with the switch off, every probe —
+   counters, timers, spans, tags — is one load-and-branch with no
+   allocation.  Gc.minor_words is exact in native code; the slack only
+   covers the two boxed floats the measurement itself allocates. *)
+let test_disabled_probes_do_not_allocate () =
+  Obs.reset ();
+  Alcotest.(check bool) "tracing is off" false !Obs.enabled;
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Obs.Counter.incr c_unit;
+    Obs.Counter.add c_unit i;
+    let t0 = Obs.Timer.start () in
+    Obs.Timer.stop t_unit t0;
+    Obs.Span.enter sp_outer;
+    Obs.Span.exit sp_outer;
+    Obs.Tag.set ~req:i ~site:0;
+    Obs.Tag.clear ()
+  done;
+  let after = Gc.minor_words () in
+  Alcotest.(check bool) "disabled probes allocate nothing" true (after -. before < 256.)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot.sub, Report, Trace *)
@@ -301,12 +422,26 @@ let () =
           Alcotest.test_case "disabled start is dropped" `Quick test_timer_disabled_start_is_zero;
           Alcotest.test_case "percentiles from buckets" `Quick test_percentile_from_buckets;
         ] );
+      ( "hist",
+        [
+          Alcotest.test_case "basics" `Quick test_hist_basics;
+          Alcotest.test_case "merge and clear" `Quick test_hist_merge_and_clear;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "nearest-rank percentiles" `Quick test_summary_percentiles;
+          Alcotest.test_case "of_samples" `Quick test_summary_of_samples;
+        ] );
       ( "span",
         [
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "wrap on exception" `Quick test_span_wrap_on_exception;
           Alcotest.test_case "unmatched exit dropped" `Quick test_span_unmatched_exit_dropped;
           Alcotest.test_case "event cap counts drops" `Quick test_event_cap_counts_drops;
+          Alcotest.test_case "tag stamps events" `Quick test_tag_stamps_events;
+          Alcotest.test_case "tag cleared by reset" `Quick test_tag_cleared_by_reset;
+          Alcotest.test_case "disabled probes do not allocate" `Quick
+            test_disabled_probes_do_not_allocate;
         ] );
       ( "snapshot",
         [

@@ -125,6 +125,30 @@ let test_engine_unknown_site () =
   | Response.Error msg -> Alcotest.(check string) "unknown site" "unknown site 3" msg
   | r -> Alcotest.failf "answered %s" (Response.to_string r)
 
+let test_engine_stats () =
+  let e = reservation_engine () in
+  ignore (Engine.handle e ~site:0 (Request.Reserve { start = 0; dur = 10; procs = 4 }));
+  ignore (Engine.handle e ~site:0 (Request.Reserve { start = 0; dur = 10; procs = 4 }));
+  ignore (Engine.handle e ~site:0 (Request.Probe { start = 50; dur = 10; procs = 1 }));
+  match Engine.handle e ~site:0 (Request.Stats { last = 10 }) with
+  | Response.Stats s ->
+      let count k =
+        match List.assoc_opt k s.Response.counts with Some v -> v | None -> 0
+      in
+      Alcotest.(check int) "requests includes this one" 4 s.Response.requests;
+      Alcotest.(check int) "one granted" 1 (count "granted");
+      Alcotest.(check int) "one rejected" 1 (count "rejected");
+      Alcotest.(check int) "one available" 1 (count "available");
+      Alcotest.(check int) "counts cover only prior responses" 0 (count "stats");
+      Alcotest.(check int) "one reservation held" 1 s.Response.held;
+      Alcotest.(check bool) "breakpoints positive" true (s.Response.breakpoints > 0);
+      (* the flight recorder only fills under [run] *)
+      Alcotest.(check int) "no digests outside run" 0 (List.length s.Response.recent);
+      (* the snapshot reads only: a fresh probe still sees 4 free procs at 50 *)
+      Alcotest.(check int) "calendar untouched" 4
+        (Calendar.available_at (Engine.calendar e ~site:0) 50)
+  | r -> Alcotest.failf "stats answered %s" (Response.to_string r)
+
 (* ------------------------------------------------------------------ *)
 (* Serve handlers: the registry-backed submit/explain entry points *)
 
@@ -262,6 +286,27 @@ let test_budget_sheds () =
       Alcotest.(check int) "served after the queue drains" 1 served.Engine.started
   | _ -> Alcotest.fail "expected three outcomes"
 
+let test_run_flight_recorder () =
+  (* under [run] every serviced request leaves a digest, so an in-band
+     Stats request sees the two requests served before it, oldest
+     first *)
+  let envs =
+    [
+      envelope 0 (reserve_at 0);
+      envelope 1 (reserve_at 100);
+      envelope 2 (Request.Stats { last = 64 });
+    ]
+  in
+  match Engine.run (reservation_engine ()) envs with
+  | [ _; _; { Engine.response = Response.Stats s; _ } ] ->
+      Alcotest.(check (list int)) "digests oldest first" [ 0; 1 ]
+        (List.map (fun d -> d.Response.d_id) s.Response.recent);
+      List.iter
+        (fun (d : Response.digest) ->
+          Alcotest.(check string) "digest outcome" "granted" d.d_outcome)
+        s.Response.recent
+  | _ -> Alcotest.fail "expected three outcomes ending in a stats response"
+
 let test_run_unknown_site () =
   let envs = [ { Request.id = 0; site = 9; arrival = 0; budget = None; payload = reserve_at 0 } ] in
   match Engine.run (reservation_engine ()) envs with
@@ -325,6 +370,7 @@ let gen_request =
           (fun dag algo (deadline, format) -> Request.Explain { dag; algo; deadline; format })
           gen_dag gen_algo
           (pair (option (0 -- 100_000)) (oneofl [ "text"; "json"; "svg"; "html" ]));
+        map (fun last -> Request.Stats { last }) (0 -- 128);
       ])
 
 let prop_request_roundtrip =
@@ -349,6 +395,41 @@ let prop_envelope_roundtrip =
       match Request.envelope_of_string (Request.envelope_to_string e) with
       | Ok e' -> Request.envelope_to_string e' = Request.envelope_to_string e
       | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg)
+
+let gen_digest =
+  QCheck.Gen.(
+    map
+      (fun ((id, arrival), (started, k)) ->
+        {
+          Response.d_id = id;
+          d_arrival = arrival;
+          d_started = started;
+          d_outcome = List.nth Response.kinds (k mod Response.n_kinds);
+        })
+      (pair (pair (0 -- 10_000) (0 -- 100_000)) (pair (0 -- 100_000) (0 -- 20))))
+
+let gen_stats =
+  QCheck.Gen.(
+    map3
+      (fun requests counts ((sq, sb, qd), (qp, held, bp), recent) ->
+        Response.Stats
+          {
+            requests;
+            counts = List.map2 (fun k c -> (k, c)) Response.kinds counts;
+            shed_queue = sq;
+            shed_budget = sb;
+            queue_depth = qd;
+            queue_peak = qp;
+            held;
+            breakpoints = bp;
+            recent;
+          })
+      (0 -- 100_000)
+      (list_repeat Response.n_kinds (0 -- 1_000))
+      (triple
+         (triple (0 -- 100) (0 -- 100) (0 -- 100))
+         (triple (0 -- 100) (0 -- 100) (0 -- 10_000))
+         (list_size (0 -- 5) gen_digest)))
 
 let gen_response =
   QCheck.Gen.(
@@ -375,6 +456,7 @@ let gen_response =
         return Response.Cancelled;
         map (fun s -> Response.Explained s) (small_string ~gen:printable);
         return Response.Overloaded;
+        gen_stats;
         map (fun s -> Response.Error s) (small_string ~gen:printable);
       ])
 
@@ -385,9 +467,11 @@ let prop_response_roundtrip =
       | Ok r' -> r' = r
       | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg)
 
-(* The --jobs contract: one stream, identical grant/reject/shed decisions
-   and final calendars at any pool size.  [measure:false] keeps wall_ns
-   at 0, so whole outcome records must be equal. *)
+(* The --jobs contract: one stream, identical grant/reject/shed decisions,
+   final calendars and telemetry series at any pool size.  [measure:false]
+   keeps wall_ns at 0, so whole outcome records must be equal; the
+   telemetry is compared as rendered JSONL — the exact bytes the CI soak
+   diffs across --jobs values. *)
 let run_with_jobs seed jobs =
   let envelopes =
     Stream.generate (Rng.create seed) ~budget:30
@@ -399,22 +483,54 @@ let run_with_jobs seed jobs =
       ~sites:(Array.init 3 (fun _ -> { Engine.calendar = Calendar.create ~procs:16; q = 16 }))
       ()
   in
+  let sink = Engine.Stats.sink ~every:30 () in
   let outcomes =
-    if jobs = 1 then Engine.run ~queue_limit:4 engine envelopes
+    if jobs = 1 then Engine.run ~queue_limit:4 ~stats:sink engine envelopes
     else
       Mp_prelude.Pool.with_pool ~jobs (fun pool ->
-          Engine.run ~pool ~queue_limit:4 engine envelopes)
+          Engine.run ~pool ~queue_limit:4 ~stats:sink engine envelopes)
   in
   let rects =
     List.init 3 (fun site ->
         Calendar.busy_rectangles (Engine.calendar engine ~site) ~from_:0 ~until:400_000)
   in
-  (outcomes, rects)
+  (outcomes, rects, Mp_forensics.Telemetry.to_jsonl (Engine.Stats.samples sink))
 
 let prop_jobs_invariant =
-  QCheck.Test.make ~name:"run is jobs-invariant (outcomes and calendars)" ~count:4
+  QCheck.Test.make ~name:"run is jobs-invariant (outcomes, calendars, telemetry)" ~count:4
     (QCheck.make QCheck.Gen.(0 -- 1_000))
     (fun seed -> run_with_jobs seed 1 = run_with_jobs seed 3)
+
+(* Replay stability: re-running the engine over the textual round-trip of
+   the envelope stream (what --dump writes and --replay reads) yields the
+   identical telemetry series. *)
+let prop_telemetry_replay_stable =
+  QCheck.Test.make ~name:"telemetry is dump/replay-stable" ~count:4
+    (QCheck.make QCheck.Gen.(0 -- 1_000))
+    (fun seed ->
+      let envelopes =
+        Stream.generate (Rng.create seed) ~budget:30 ~sites:2 ~procs:16 ~n:60 ()
+      in
+      let reparsed =
+        List.map
+          (fun e ->
+            match Request.envelope_of_string (Request.envelope_to_string e) with
+            | Ok e' -> e'
+            | Error msg -> QCheck.Test.fail_reportf "envelope reparse failed: %s" msg)
+          envelopes
+      in
+      let series envs =
+        let engine =
+          Serve.engine
+            ~sites:
+              (Array.init 2 (fun _ -> { Engine.calendar = Calendar.create ~procs:16; q = 16 }))
+            ()
+        in
+        let sink = Engine.Stats.sink ~every:45 () in
+        ignore (Engine.run ~queue_limit:4 ~stats:sink engine envs);
+        Mp_forensics.Telemetry.to_jsonl (Engine.Stats.samples sink)
+      in
+      series envelopes = series reparsed)
 
 (* ------------------------------------------------------------------ *)
 (* serve CLI: soak smoke and dump/replay *)
@@ -450,20 +566,35 @@ let responses_part path =
   | None -> Alcotest.failf "%s: unterminated responses object" path
 
 let test_serve_cli_roundtrip () =
-  let args = "--sites 2 --procs 16 --queue-limit 8 --json" in
+  let args = "--sites 2 --procs 16 --queue-limit 8 --stats-every 30 --json" in
   let code =
     run_cli
-      (Printf.sprintf "serve -n 250 --seed 7 --budget 20 --dump serve_trace.jsonl %s" args)
+      (Printf.sprintf
+         "serve -n 250 --seed 7 --budget 20 --dump serve_trace.jsonl --stats-out \
+          serve_stats_a.jsonl %s"
+         args)
       "serve_out1.txt"
   in
   Alcotest.(check int) "serve exits 0" 0 code;
   let out = In_channel.with_open_text "serve_out1.txt" In_channel.input_all in
   Alcotest.(check bool) "reports throughput" true (contains out "\"requests_per_s\"");
   Alcotest.(check bool) "reports latency percentiles" true (contains out "\"latency_p99_ns\"");
-  let code = run_cli (Printf.sprintf "serve --replay serve_trace.jsonl %s" args) "serve_out2.txt" in
+  Alcotest.(check bool) "reports p999" true (contains out "\"latency_p999_ns\"");
+  Alcotest.(check bool) "reports the stats summary" true (contains out "\"queue_peak\"");
+  let code =
+    run_cli
+      (Printf.sprintf "serve --replay serve_trace.jsonl --stats-out serve_stats_b.jsonl %s" args)
+      "serve_out2.txt"
+  in
   Alcotest.(check int) "replay exits 0" 0 code;
   Alcotest.(check string) "replay reproduces every response count"
-    (responses_part "serve_out1.txt") (responses_part "serve_out2.txt")
+    (responses_part "serve_out1.txt") (responses_part "serve_out2.txt");
+  let slurp p = In_channel.with_open_text p In_channel.input_all in
+  let stats_a = slurp "serve_stats_a.jsonl" in
+  Alcotest.(check bool) "stats JSONL is non-empty" true (String.length stats_a > 0);
+  Alcotest.(check bool) "stats JSONL has sojourn histograms" true (contains stats_a "\"sojourn\"");
+  Alcotest.(check string) "replay reproduces the telemetry bytes" stats_a
+    (slurp "serve_stats_b.jsonl")
 
 (* ------------------------------------------------------------------ *)
 
@@ -475,6 +606,7 @@ let () =
         prop_envelope_roundtrip;
         prop_response_roundtrip;
         prop_jobs_invariant;
+        prop_telemetry_replay_stable;
       ]
   in
   Alcotest.run "mp_service"
@@ -492,6 +624,7 @@ let () =
           Alcotest.test_case "cancel not held" `Quick test_engine_cancel_not_held;
           Alcotest.test_case "no handlers" `Quick test_engine_no_handlers;
           Alcotest.test_case "unknown site" `Quick test_engine_unknown_site;
+          Alcotest.test_case "stats snapshot" `Quick test_engine_stats;
         ] );
       ( "serve-handlers",
         [
@@ -507,6 +640,7 @@ let () =
         [
           Alcotest.test_case "queue limit sheds" `Quick test_queue_limit_sheds;
           Alcotest.test_case "budget sheds" `Quick test_budget_sheds;
+          Alcotest.test_case "flight recorder" `Quick test_run_flight_recorder;
           Alcotest.test_case "unknown site outcome" `Quick test_run_unknown_site;
         ] );
       ("stream", [ Alcotest.test_case "deterministic" `Quick test_stream_deterministic ]);
