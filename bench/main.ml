@@ -270,9 +270,18 @@ let section ?(counters = true) title f =
         else
           (* Every remaining counter — including the index tree's
              node-visit and descent counts — is deterministic for a given
-             scale/jobs, so all non-zero deltas ride into the baseline. *)
+             scale/jobs, so all non-zero deltas ride into the baseline.
+             The one exception is the pool's steal-traffic family: which
+             worker claims which chunk depends on OS scheduling, so those
+             deltas vary run to run and must not be gated. *)
+          let nondeterministic = function
+            | "pool.steals" | "pool.tasks_stolen" | "pool.busy_ns" -> true
+            | _ -> false
+          in
           List.filter_map
-            (fun (k, v) -> if v = 0 then None else Some (k, float_of_int v))
+            (fun (k, v) ->
+              if v = 0 || nondeterministic k then None
+              else Some (k, float_of_int v))
             delta.Mp_obs.Snapshot.counters
   in
   core_sections :=
@@ -395,6 +404,82 @@ let index_rungs =
   match index_max_r with
   | None -> base
   | Some cap -> List.sort_uniq compare (List.map (fun r -> min r cap) base)
+
+(* ------------------------------------------------------------------ *)
+(* Pool executor: static striping vs work stealing on a skewed cell mix.
+   One pathological instance among many cheap ones is exactly the shape
+   that idles a static stripe — every cell behind the slow one waits for
+   its worker while the other domains sit finished.  Both executors are
+   raced on the same cells with the probes on; per-worker busy time comes
+   from the [pool.worker] spans, and imbalance is max/mean worker busy.
+   All numbers are machine-speed (and core-count) dependent, so they ride
+   as metrics — reported by bench/compare.exe, never gated.  On a machine
+   with fewer cores than [pool_jobs] both strategies serialize and the
+   speedup collapses to ~1x; the imbalance contrast still shows. *)
+
+let bench_pool () =
+  let module Pool = Mp_prelude.Pool in
+  let pool_jobs = 4 and reps = 5 and n_cheap = 48 in
+  let cheap = instance_of { Dag_gen.default with n = 16 } in
+  let heavy = instance_of { Dag_gen.default with n = 150 } in
+  let cells = Array.of_list (heavy :: List.init n_cheap (fun _ -> cheap)) in
+  let run_cell (env, dag) = Schedule.turnaround (Ressched.schedule env dag) in
+  (* Sequential reference: warms the instances and pins the contract —
+     both executors must reproduce it bit for bit. *)
+  let reference = Array.map run_cell cells in
+  let race strategy =
+    Pool.with_pool ~strategy ~jobs:pool_jobs (fun p ->
+        let best_wall = ref infinity and best_imb = ref 1.0 in
+        for _ = 1 to reps do
+          Mp_obs.with_enabled (fun () ->
+              let s0 = Mp_obs.Snapshot.take () in
+              let t0 = Unix.gettimeofday () in
+              let out = Pool.map_array p run_cell cells in
+              let wall = Unix.gettimeofday () -. t0 in
+              let delta = Mp_obs.Snapshot.sub (Mp_obs.Snapshot.take ()) ~earlier:s0 in
+              if out <> reference then failwith "Pool bench: executor output diverged";
+              let busy = Hashtbl.create 8 in
+              List.iter
+                (fun (e : Mp_obs.Snapshot.event) ->
+                  if e.span_name = "pool.worker" then
+                    Hashtbl.replace busy e.domain
+                      (e.dur_ns + Option.value ~default:0 (Hashtbl.find_opt busy e.domain)))
+                delta.Mp_obs.Snapshot.events;
+              let workers = Hashtbl.length busy in
+              let total = Hashtbl.fold (fun _ v acc -> acc + v) busy 0 in
+              let mx = Hashtbl.fold (fun _ v acc -> max acc v) busy 0 in
+              let imb =
+                if total = 0 then 1.0
+                else float_of_int (mx * workers) /. float_of_int total
+              in
+              if wall < !best_wall then begin
+                best_wall := wall;
+                best_imb := imb
+              end)
+        done;
+        (!best_wall, !best_imb))
+  in
+  let static_wall, static_imb = race Pool.Static in
+  let steal_wall, steal_imb = race Pool.Steal in
+  let speedup = if steal_wall > 0. then static_wall /. steal_wall else 0. in
+  Printf.printf
+    "skewed cell mix: %d cheap RESSCHED cells (n=16) + 1 pathological (n=150), jobs=%d, best of %d\n"
+    n_cheap pool_jobs reps;
+  Printf.printf "  %-8s %10s %11s\n" "executor" "wall[ms]" "imbalance";
+  Printf.printf "  %-8s %10.2f %11.2f\n" "static" (1000. *. static_wall) static_imb;
+  Printf.printf "  %-8s %10.2f %11.2f\n" "steal" (1000. *. steal_wall) steal_imb;
+  Printf.printf "  speedup (static/steal): %.2fx%s\n%!" speedup
+    (if Domain.recommended_domain_count () < pool_jobs then
+       "  [fewer cores than jobs: both serialize, expect ~1x]"
+     else "");
+  set_metrics
+    [
+      ("static_wall_s", static_wall);
+      ("steal_wall_s", steal_wall);
+      ("speedup", speedup);
+      ("static_imbalance", static_imb);
+      ("steal_imbalance", steal_imb);
+    ]
 
 let log2f x = log (float_of_int x) /. log 2.
 
@@ -584,6 +669,10 @@ let () =
         (fun () ->
           Printf.printf "%d application specifications enumerated from Table 1\n"
             (List.length Scenario.app_specs));
+      (* executor micro-benchmark first: its per-rep snapshots copy every
+         span event recorded so far, so it must run before the tables
+         fill the per-domain buffers *)
+      section "Pool" bench_pool;
       section "Table 2" (fun () -> Experiments.print_table2 scale);
       section "Table 3" (fun () -> Experiments.print_table3 scale);
       section "Section 4.3.1 (bottom-level methods)" (fun () ->

@@ -389,10 +389,16 @@ let mpres_exe () =
   | Some exe -> exe
   | None -> Alcotest.fail "mpres.exe not built (declared as a dune test dep)"
 
+(* CLI runs put every artifact in a per-process temp dir, never the
+   workspace root — stray cli_* files used to litter the repository. *)
+let cli_tmp = lazy (Filename.temp_dir "mpres_cli" "")
+let in_tmp name = Filename.concat (Lazy.force cli_tmp) name
+
 let run_cli args =
   let exe = mpres_exe () in
-  let code = Sys.command (exe ^ " " ^ args ^ " > cli_out.txt 2> cli_err.txt") in
-  let err = In_channel.with_open_text "cli_err.txt" In_channel.input_all in
+  let out = in_tmp "cli_out.txt" and err_file = in_tmp "cli_err.txt" in
+  let code = Sys.command (exe ^ " " ^ args ^ " > " ^ out ^ " 2> " ^ err_file) in
+  let err = In_channel.with_open_text err_file In_channel.input_all in
   (code, err)
 
 let check_cli_error name (code, err) =
@@ -404,22 +410,23 @@ let test_cli_unreadable_inputs () =
   check_cli_error "schedule --dag" (run_cli "schedule -n 8 --dag /nonexistent.dag");
   check_cli_error "explain --dag" (run_cli "explain -n 8 --dag /nonexistent.dag");
   check_cli_error "schedule --swf" (run_cli "schedule -n 8 --swf /nonexistent.swf");
-  let malformed = "cli_malformed.dag" in
+  let malformed = in_tmp "cli_malformed.dag" in
   Out_channel.with_open_text malformed (fun oc -> Out_channel.output_string oc "task 0 x y\n");
   check_cli_error "malformed dag" (run_cli ("explain -n 8 --dag " ^ malformed))
 
 let test_cli_explain_formats () =
-  let dag_file = "cli_roundtrip.dag" in
+  let dag_file = in_tmp "cli_roundtrip.dag" in
   (match Dag_io.save dag_file (random_dag 29 6) with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "save failed: %s" msg);
-  let code, _ = run_cli ("explain --dag " ^ dag_file ^ " --format svg -o cli_gantt.svg") in
+  let gantt = in_tmp "cli_gantt.svg" and journal = in_tmp "cli_journal.jsonl" in
+  let code, _ = run_cli ("explain --dag " ^ dag_file ^ " --format svg -o " ^ gantt) in
   Alcotest.(check int) "explain svg exits 0" 0 code;
-  let svg = In_channel.with_open_text "cli_gantt.svg" In_channel.input_all in
+  let svg = In_channel.with_open_text gantt In_channel.input_all in
   check_svg "cli gantt" svg;
-  let code, _ = run_cli ("explain --dag " ^ dag_file ^ " --format json -o cli_journal.jsonl") in
+  let code, _ = run_cli ("explain --dag " ^ dag_file ^ " --format json -o " ^ journal) in
   Alcotest.(check int) "explain json exits 0" 0 code;
-  let jsonl = In_channel.with_open_text "cli_journal.jsonl" In_channel.input_all in
+  let jsonl = In_channel.with_open_text journal In_channel.input_all in
   Alcotest.(check bool) "jsonl has placements" true (contains jsonl "\"event\":\"placement\"");
   Alcotest.(check bool) "jsonl has analytics" true (contains jsonl "\"event\":\"analytics\"")
 

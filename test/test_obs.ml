@@ -376,8 +376,12 @@ let merge_under_pool jobs () =
   let n = 200 in
   let items = Array.init n (fun i -> i) in
   let out =
+    (* the Static executor pins item i to worker i mod jobs, so every
+       worker domain is guaranteed to record events — under the stealing
+       default a fast caller can legally drain the whole batch alone,
+       which would make the >1-domain assertion below racy *)
     Obs.with_enabled (fun () ->
-        Pool.with_pool ~jobs (fun p ->
+        Pool.with_pool ~strategy:Pool.Static ~jobs (fun p ->
             Pool.map_array p
               (fun i ->
                 Obs.Span.wrap sp_par @@ fun () ->

@@ -216,10 +216,85 @@ let test_pool_shutdown () =
   Alcotest.check_raises "map after shutdown" (Invalid_argument "Pool.map: pool is shut down")
     (fun () -> ignore (Pool.map p Fun.id [ 0 ]))
 
+let test_pool_uniform_errors () =
+  (* the shutdown error is the same message for every jobs value — the
+     old executor special-cased jobs = 1 — and fires even on empty input *)
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs () in
+      Pool.shutdown p;
+      let name s = Printf.sprintf "%s (jobs=%d)" s jobs in
+      Alcotest.check_raises (name "map after shutdown")
+        (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+          ignore (Pool.map p Fun.id [ 0 ]));
+      Alcotest.check_raises (name "empty map after shutdown")
+        (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+          ignore (Pool.map p Fun.id [])))
+    [ 1; 2; 4 ]
+
+let test_pool_reentrant_map () =
+  (* a work item calling map on its own pool is rejected uniformly; the
+     Invalid_argument travels through the slot/merge machinery like any
+     other item exception *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          Alcotest.check_raises
+            (Printf.sprintf "re-entrant map (jobs=%d)" jobs)
+            (Invalid_argument "Pool.map: concurrent map on the same pool")
+            (fun () -> ignore (Pool.map p (fun _ -> Pool.map p Fun.id [ 1 ]) [ 0 ]));
+          (* the failed batch must not poison the pool *)
+          Alcotest.(check (list int))
+            (Printf.sprintf "pool survives (jobs=%d)" jobs)
+            [ 1; 2 ] (Pool.map p succ [ 0; 1 ])))
+    [ 1; 2; 4 ]
+
+let test_pool_static_strategy () =
+  let xs = List.init 50 Fun.id in
+  let f x = (x * 7) mod 13 in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~strategy:Pool.Static ~jobs (fun p ->
+          Alcotest.(check bool) "strategy accessor" true (Pool.strategy p = Pool.Static);
+          Alcotest.(check (list int))
+            (Printf.sprintf "static jobs=%d" jobs)
+            (List.map f xs) (Pool.map p f xs)))
+    [ 1; 3 ]
+
 let prop_pool_run_is_map =
   QCheck.Test.make ~name:"Pool.run = List.map for any jobs" ~count:50
     QCheck.(pair (int_range 1 8) (small_list small_int))
     (fun (jobs, xs) -> Pool.run ~jobs (fun x -> x + 1) xs = List.map (fun x -> x + 1) xs)
+
+(* Burn CPU proportional to [n] without allocating, so per-item costs can
+   be made adversarially uneven (bimodal: a few items orders of magnitude
+   slower) and steals actually happen while the batch is in flight. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc lxor i
+  done;
+  !acc
+
+let uneven_cost = QCheck.(oneof [ int_range 0 200; int_range 20_000 60_000 ])
+
+let prop_pool_steal_uneven =
+  QCheck.Test.make ~name:"stealing pool = List.map under uneven costs" ~count:30
+    QCheck.(pair (oneofl [ 1; 2; 4 ]) (small_list (pair small_int uneven_cost)))
+    (fun (jobs, items) ->
+      let f (v, cost) = ignore (spin cost); (v * 2) + 1 in
+      Pool.run ~jobs f items = List.map f items)
+
+let prop_pool_steal_exceptions =
+  QCheck.Test.make ~name:"stealing pool exception = sequential (smallest index)" ~count:30
+    QCheck.(pair (oneofl [ 1; 2; 4 ]) (small_list (triple small_int uneven_cost bool)))
+    (fun (jobs, items) ->
+      let f (v, cost, fail) =
+        ignore (spin cost);
+        if fail then failwith (string_of_int v) else v
+      in
+      let outcome run = match run () with v -> Ok v | exception Failure m -> Error m in
+      outcome (fun () -> Pool.run ~jobs f items) = outcome (fun () -> List.map f items))
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -256,7 +331,7 @@ let prop_rng_int_in_range =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
-      [ prop_percentile_monotone; prop_mean_between_min_max; prop_correlation_bounded; prop_rng_int_in_range; prop_pool_run_is_map ]
+      [ prop_percentile_monotone; prop_mean_between_min_max; prop_correlation_bounded; prop_rng_int_in_range; prop_pool_run_is_map; prop_pool_steal_uneven; prop_pool_steal_exceptions ]
   in
   Alcotest.run "prelude"
     [
@@ -285,6 +360,9 @@ let () =
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "uniform errors across jobs" `Quick test_pool_uniform_errors;
+          Alcotest.test_case "re-entrant map rejected" `Quick test_pool_reentrant_map;
+          Alcotest.test_case "static reference strategy" `Quick test_pool_static_strategy;
         ] );
       ( "stats",
         [

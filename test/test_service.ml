@@ -546,8 +546,14 @@ let mpres_exe () =
   | Some exe -> exe
   | None -> Alcotest.fail "mpres.exe not built (declared as a dune test dep)"
 
+(* CLI runs put every artifact in a per-process temp dir, never the
+   workspace root — stray serve_* files used to litter the repository. *)
+let cli_tmp = lazy (Filename.temp_dir "mpres_serve" "")
+let in_tmp name = Filename.concat (Lazy.force cli_tmp) name
+
 let run_cli args out =
-  Sys.command (Printf.sprintf "%s %s > %s 2> serve_err.txt" (mpres_exe ()) args out)
+  Sys.command
+    (Printf.sprintf "%s %s > %s 2> %s" (mpres_exe ()) args out (in_tmp "serve_err.txt"))
 
 (* the ["responses":{...}] object of the --json report: the deterministic
    part (counts per response kind), free of wall-clock noise *)
@@ -567,34 +573,32 @@ let responses_part path =
 
 let test_serve_cli_roundtrip () =
   let args = "--sites 2 --procs 16 --queue-limit 8 --stats-every 30 --json" in
+  let trace = in_tmp "serve_trace.jsonl" in
+  let stats_a = in_tmp "serve_stats_a.jsonl" and stats_b = in_tmp "serve_stats_b.jsonl" in
+  let out1 = in_tmp "serve_out1.txt" and out2 = in_tmp "serve_out2.txt" in
   let code =
     run_cli
-      (Printf.sprintf
-         "serve -n 250 --seed 7 --budget 20 --dump serve_trace.jsonl --stats-out \
-          serve_stats_a.jsonl %s"
-         args)
-      "serve_out1.txt"
+      (Printf.sprintf "serve -n 250 --seed 7 --budget 20 --dump %s --stats-out %s %s" trace
+         stats_a args)
+      out1
   in
   Alcotest.(check int) "serve exits 0" 0 code;
-  let out = In_channel.with_open_text "serve_out1.txt" In_channel.input_all in
+  let out = In_channel.with_open_text out1 In_channel.input_all in
   Alcotest.(check bool) "reports throughput" true (contains out "\"requests_per_s\"");
   Alcotest.(check bool) "reports latency percentiles" true (contains out "\"latency_p99_ns\"");
   Alcotest.(check bool) "reports p999" true (contains out "\"latency_p999_ns\"");
   Alcotest.(check bool) "reports the stats summary" true (contains out "\"queue_peak\"");
   let code =
-    run_cli
-      (Printf.sprintf "serve --replay serve_trace.jsonl --stats-out serve_stats_b.jsonl %s" args)
-      "serve_out2.txt"
+    run_cli (Printf.sprintf "serve --replay %s --stats-out %s %s" trace stats_b args) out2
   in
   Alcotest.(check int) "replay exits 0" 0 code;
-  Alcotest.(check string) "replay reproduces every response count"
-    (responses_part "serve_out1.txt") (responses_part "serve_out2.txt");
+  Alcotest.(check string) "replay reproduces every response count" (responses_part out1)
+    (responses_part out2);
   let slurp p = In_channel.with_open_text p In_channel.input_all in
-  let stats_a = slurp "serve_stats_a.jsonl" in
-  Alcotest.(check bool) "stats JSONL is non-empty" true (String.length stats_a > 0);
-  Alcotest.(check bool) "stats JSONL has sojourn histograms" true (contains stats_a "\"sojourn\"");
-  Alcotest.(check string) "replay reproduces the telemetry bytes" stats_a
-    (slurp "serve_stats_b.jsonl")
+  let sa = slurp stats_a in
+  Alcotest.(check bool) "stats JSONL is non-empty" true (String.length sa > 0);
+  Alcotest.(check bool) "stats JSONL has sojourn histograms" true (contains sa "\"sojourn\"");
+  Alcotest.(check string) "replay reproduces the telemetry bytes" sa (slurp stats_b)
 
 (* ------------------------------------------------------------------ *)
 

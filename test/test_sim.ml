@@ -238,6 +238,28 @@ let test_runner_parallel_deterministic () =
         (seq.Runner.cpu_hours.values = par.Runner.cpu_hours.values))
     [ (11, "s1"); (12, "s2"); (13, "s3") ]
 
+let test_runner_deadline_jobs_invariant () =
+  (* Table-6 shape: Grid'5000 reservation environments, the full deadline
+     roster, two-phase runner (tightest probe, then the loose-deadline cpu
+     phase behind its barrier) — the stealing executor moves cells between
+     workers, the matrices must not move at all *)
+  let app = { Scenario.label = "t"; params = { Dag_gen.default with n = 10 } } in
+  let insts = Instance.grid5000 ~seed:21 ~app ~n_dags:2 ~n_cals:2 in
+  let run jobs = Runner.deadline ~jobs ~algos:Algo.deadline_all ~scenario:"t6" insts in
+  let r1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "tightest identical (jobs=%d)" jobs)
+        true
+        (r1.Runner.tightest.values = r.Runner.tightest.values);
+      Alcotest.(check bool)
+        (Printf.sprintf "loose cpu identical (jobs=%d)" jobs)
+        true
+        (r1.Runner.loose_cpu_hours.values = r.Runner.loose_cpu_hours.values))
+    [ 2; 4 ]
+
 let test_runner_worker_exception () =
   (* a crash on a worker domain must propagate to the caller, not hang *)
   let insts = micro_instances () in
@@ -522,6 +544,7 @@ let () =
           Alcotest.test_case "ressched validated" `Quick test_runner_ressched;
           Alcotest.test_case "deadline validated" `Slow test_runner_deadline;
           Alcotest.test_case "parallel = sequential" `Quick test_runner_parallel_deterministic;
+          Alcotest.test_case "deadline jobs-invariant (Table 6 shape)" `Slow test_runner_deadline_jobs_invariant;
           Alcotest.test_case "worker exception propagates" `Quick test_runner_worker_exception;
         ] );
       ( "campaign",
