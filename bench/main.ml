@@ -271,12 +271,15 @@ let section ?(counters = true) title f =
           (* Every remaining counter — including the index tree's
              node-visit and descent counts — is deterministic for a given
              scale/jobs, so all non-zero deltas ride into the baseline.
-             The one exception is the pool's steal-traffic family: which
-             worker claims which chunk depends on OS scheduling, so those
-             deltas vary run to run and must not be gated. *)
+             The exceptions: the pool's steal-traffic family (which worker
+             claims which chunk depends on OS scheduling) and the
+             speculation family ([spec.wasted_ns] is wall-clock, and the
+             rest fire only when a pool is lent, which depends on the
+             jobs/core configuration) — those vary run to run and must
+             not be gated. *)
           let nondeterministic = function
             | "pool.steals" | "pool.tasks_stolen" | "pool.busy_ns" -> true
-            | _ -> false
+            | k -> String.length k >= 5 && String.sub k 0 5 = "spec."
           in
           List.filter_map
             (fun (k, v) ->
@@ -481,6 +484,121 @@ let bench_pool () =
       ("steal_imbalance", steal_imb);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Intra-schedule speculation: sequential vs pool-lent deadline solving
+   on Table-6-shaped instances (see "Intra-schedule speculation" in
+   DESIGN.md).  The speculative pass fans the tightest-search probe
+   waves and the per-task fit scans over a lent 4-worker pool; every rep
+   is pinned byte-equal to the sequential reference (speculation is
+   output-preserving).  Wall times and the derived speedup are
+   machine-speed (and core-count) dependent, so they ride as metrics —
+   as does the lookahead hit rate, measured by one extra counted pass
+   with the probes on.  On a machine with fewer than 4 cores the wave
+   workers serialize and the speedup collapses to ~1x. *)
+
+let bench_speculation () =
+  let module Pool = Mp_prelude.Pool in
+  let module Deadline = Mp_core.Deadline in
+  let spec_jobs = 4 and reps = 3 in
+  let insts = List.map (fun n -> instance_of { Dag_gen.default with n }) [ 50; 75; 100 ] in
+  let algos = Algo.deadline_hybrid in
+  let pass spec =
+    List.concat_map
+      (fun (env, dag) ->
+        List.map
+          (fun (a : Algo.deadline) ->
+            let prepared = a.prepare ?spec env dag in
+            let tight = Deadline.tightest ?spec prepared env dag in
+            let loose =
+              match tight with Some (k, _) -> prepared ~deadline:(2 * k) | None -> None
+            in
+            ( Option.map (fun (k, s) -> (k, Schedule.reservations s)) tight,
+              Option.map Schedule.reservations loose ))
+          algos)
+      insts
+  in
+  let reference = pass None in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let out = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      if out <> reference then failwith "Speculation bench: output diverged";
+      if wall < !best then best := wall
+    done;
+    !best
+  in
+  let seq_wall = time (fun () -> pass None) in
+  let spec_wall, (hits, misses, waves, wave_probes, wave_wasted) =
+    Pool.with_pool ~jobs:spec_jobs (fun p ->
+        let spec = Mp_core.Speculate.create p in
+        let wall = time (fun () -> pass (Some spec)) in
+        let counts =
+          Mp_obs.with_enabled (fun () ->
+              let s0 = Mp_obs.Snapshot.take () in
+              ignore (pass (Some spec));
+              let d = Mp_obs.Snapshot.sub (Mp_obs.Snapshot.take ()) ~earlier:s0 in
+              let c k =
+                Option.value ~default:0 (List.assoc_opt k d.Mp_obs.Snapshot.counters)
+              in
+              (c "spec.hits", c "spec.misses", c "spec.waves", c "spec.wave.probes",
+               c "spec.wave.wasted"))
+        in
+        (wall, counts))
+  in
+  let speedup = if spec_wall > 0. then seq_wall /. spec_wall else 0. in
+  let hit_rate =
+    if hits + misses = 0 then 1.0 else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.printf
+    "deadline solving (tightest search + loose re-run), %d instances x %d algorithms, spec \
+     jobs=%d, best of %d\n"
+    (List.length insts) (List.length algos) spec_jobs reps;
+  Printf.printf "  %-12s %10s\n" "mode" "wall[ms]";
+  Printf.printf "  %-12s %10.2f\n" "sequential" (1000. *. seq_wall);
+  Printf.printf "  %-12s %10.2f\n" "speculative" (1000. *. spec_wall);
+  Printf.printf "  speedup (seq/spec): %.2fx%s\n" speedup
+    (if Domain.recommended_domain_count () < spec_jobs then
+       "  [fewer cores than spec jobs: waves serialize, expect ~1x]"
+     else "");
+  Printf.printf
+    "  lookahead: %d hit(s), %d miss(es) (%.1f%% hit rate); waves: %d, probes %d, wasted %d\n%!"
+    hits misses (100. *. hit_rate) waves wave_probes wave_wasted;
+  set_metrics
+    [
+      ("seq_wall_s", seq_wall);
+      ("spec_wall_s", spec_wall);
+      ("speedup", speedup);
+      ("spec_hit_rate", hit_rate);
+      ("wave_waste_rate",
+       if wave_probes = 0 then 0.0 else float_of_int wave_wasted /. float_of_int wave_probes);
+    ]
+
+(* Promote the tightest-search probe count — and, when a pool was lent,
+   the speculation hit rate — of a table's run into its metrics block for
+   side-by-side reporting by bench/compare.exe.  Traced runs only: the
+   counters are frozen when the probes are off.  [deadline.tightest.probes]
+   also stays in the section's gated counters; [spec.*] never gates (see
+   [nondeterministic] above). *)
+let with_probe_metrics f () =
+  if not !Mp_obs.enabled then f ()
+  else begin
+    let s0 = Mp_obs.Snapshot.take () in
+    f ();
+    let d = Mp_obs.Snapshot.sub (Mp_obs.Snapshot.take ()) ~earlier:s0 in
+    let c k = Option.value ~default:0 (List.assoc_opt k d.Mp_obs.Snapshot.counters) in
+    let hits = c "spec.hits" and misses = c "spec.misses" in
+    let metrics = [ ("tightest_probes", float_of_int (c "deadline.tightest.probes")) ] in
+    let metrics =
+      if hits + misses = 0 then metrics
+      else
+        metrics
+        @ [ ("spec_hit_rate", float_of_int hits /. float_of_int (hits + misses)) ]
+    in
+    set_metrics metrics
+  end
+
 let log2f x = log (float_of_int x) /. log 2.
 
 let bench_index () =
@@ -673,14 +791,15 @@ let () =
          span event recorded so far, so it must run before the tables
          fill the per-domain buffers *)
       section "Pool" bench_pool;
+      section "Speculation" bench_speculation;
       section "Table 2" (fun () -> Experiments.print_table2 scale);
       section "Table 3" (fun () -> Experiments.print_table3 scale);
       section "Section 4.3.1 (bottom-level methods)" (fun () ->
           Experiments.print_bl_comparison ~pool scale);
       section "Table 4" (fun () -> Experiments.print_table4 ~pool scale);
       section "Table 5" (fun () -> Experiments.print_table5 ~pool scale);
-      section "Table 6" (fun () -> Experiments.print_table6 ~pool scale);
-      section "Table 7" (fun () -> Experiments.print_table7 ~pool scale);
+      section "Table 6" (with_probe_metrics (fun () -> Experiments.print_table6 ~pool scale));
+      section "Table 7" (with_probe_metrics (fun () -> Experiments.print_table7 ~pool scale));
       section "Table 8" (fun () -> Experiments.print_table8 ());
       section "Table 9" bench_table9;
       section "Table 10" bench_table10;

@@ -43,12 +43,21 @@ module Serve = Mp_core.Serve
 (* One-shot service over the instance's calendar: the schedule, deadline
    and explain subcommands all submit through this engine, so the CLI and
    the serve daemon exercise the same code path. *)
-let one_shot_engine (inst : Instance.t) =
-  Serve.engine ~sites:[| { Engine.calendar = inst.env.calendar; q = inst.env.q } |] ()
+let one_shot_engine ?spec (inst : Instance.t) =
+  Serve.engine ?spec ~sites:[| { Engine.calendar = inst.env.calendar; q = inst.env.q } |] ()
 
-let submit_one inst ~algo ~deadline =
-  Engine.handle (one_shot_engine inst) ~site:0
+let submit_one ?spec inst ~algo ~deadline =
+  Engine.handle (one_shot_engine ?spec inst) ~site:0
     (Request.Submit_dag { dag = inst.Instance.dag; algo; deadline })
+
+(* Lend a pool of [jobs] workers to the one schedule computation a
+   one-shot subcommand makes (Mp_core.Speculate).  Speculation is
+   output-preserving, so the result is bit-identical for any [jobs];
+   [jobs = 1] skips the pool entirely (the sequential reference). *)
+let with_spec jobs f =
+  if jobs <= 1 then f None
+  else
+    Mp_prelude.Pool.with_pool ~jobs (fun pool -> f (Some (Mp_core.Speculate.create pool)))
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
@@ -83,6 +92,16 @@ let with_trace trace f =
         Printf.eprintf "chrome trace written to %s\n%!" path
       in
       Fun.protect ~finally f
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Mp_prelude.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "MPRES_JOBS")
+        ~doc:
+          "Worker domains for the fan-out (default: cores - 1; 1 = sequential). Results are \
+           bit-identical whatever the value.")
 
 let dag_params_t =
   let n = Arg.(value & opt int 50 & info [ "n" ] ~doc:"Number of tasks.") in
@@ -323,7 +342,8 @@ let schedule_cmd =
 (* deadline *)
 
 let deadline seed params log phi method_ shape dag_file swf_file algo_name deadline_s gantt
-    svg_file trace =
+    svg_file jobs trace =
+  if jobs < 1 then die "--jobs must be at least 1";
   with_trace trace @@ fun () ->
   match Algo.find algo_name with
   | None -> unknown_algo algo_name
@@ -334,8 +354,9 @@ let deadline seed params log phi method_ shape dag_file swf_file algo_name deadl
       exit 1
   | Some (`Deadline algo) -> (
       let inst = instance_of ?dag_file ?swf_file ~seed ~params ~log ~phi ~method_ ~shape () in
-      let spec = match deadline_s with Some k -> Request.By k | None -> Request.Tightest in
-      match submit_one inst ~algo:algo.name ~deadline:spec with
+      let dspec = match deadline_s with Some k -> Request.By k | None -> Request.Tightest in
+      with_spec jobs @@ fun spec ->
+      match submit_one ?spec inst ~algo:algo.name ~deadline:dspec with
       | Response.Scheduled { schedule = sched; deadline } ->
           (match (deadline_s, deadline) with
           | Some k, _ -> Format.printf "deadline %d met.@." k
@@ -368,7 +389,7 @@ let deadline_cmd =
     (Cmd.info "deadline" ~doc:"Solve RESSCHEDDL on a random instance")
     Term.(
       const deadline $ seed_t $ dag_params_t $ log_t $ phi_t $ method_t $ shape_t $ dag_file_t
-      $ swf_file_t $ algo $ dl $ gantt_t $ svg_t $ trace_t)
+      $ swf_file_t $ algo $ dl $ gantt_t $ svg_t $ jobs_t $ trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* explain *)
@@ -447,16 +468,6 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve *)
 
-let jobs_t =
-  Arg.(
-    value
-    & opt int (Mp_prelude.Pool.default_jobs ())
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~env:(Cmd.Env.info "MPRES_JOBS")
-        ~doc:
-          "Worker domains for the fan-out (default: cores - 1; 1 = sequential). Results are \
-           bit-identical whatever the value.")
-
 let serve seed n sites procs queue_limit budget algos jobs dump replay json stats_every
     stats_out stats_html trace =
   if n < 0 then die "-n must be nonnegative";
@@ -501,7 +512,17 @@ let serve seed n sites procs queue_limit budget algos jobs dump replay json stat
     Array.init sites (fun _ ->
         { Engine.calendar = Mp_platform.Calendar.create ~procs; q = procs })
   in
-  let engine = Serve.engine ~sites:site_specs () in
+  (* with more workers than sites the per-site fan-out cannot use them
+     all; lend the surplus to each request's schedule computation through
+     a second pool (a pool batch is not re-entrant, so the spec pool must
+     be distinct from the one fanning the sites).  Speculation is
+     output-preserving, so responses stay bit-identical for any --jobs. *)
+  let spec_pool =
+    if jobs > sites then Some (Mp_prelude.Pool.create ~jobs:(jobs - sites + 1) ()) else None
+  in
+  let spec = Option.map Mp_core.Speculate.create spec_pool in
+  Fun.protect ~finally:(fun () -> Option.iter Mp_prelude.Pool.shutdown spec_pool) @@ fun () ->
+  let engine = Serve.engine ?spec ~sites:site_specs () in
   let sink = Engine.Stats.sink ~every:stats_every () in
   let run () =
     let t0 = Mp_obs.now_ns () in

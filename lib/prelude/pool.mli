@@ -85,6 +85,19 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)
 
+val first_some : t -> (unit -> 'a option) array -> (int * 'a) option
+(** Speculative wave: run every thunk on the pool, then select exactly
+    what the sequential scan [thunks.(0) (); thunks.(1) (); …] stopping
+    at the first [Some] would have selected — the smallest index whose
+    thunk returned [Some v] (as [(index, v)]), or [None] when all
+    returned [None].  An exception raised by thunk [j] propagates iff no
+    thunk [i < j] returned [Some] — again matching the sequential scan,
+    which would not have evaluated [j].  The one observable difference
+    from that scan is that thunks past the winner {e do run} (their side
+    effects — probe counters, allocations — happen), so thunks must be
+    pure up to record-only instrumentation.  Same batching rules as
+    {!map}: not re-entrant, raises after {!shutdown}. *)
+
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; subsequent {!map} calls
     raise. *)

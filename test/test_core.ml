@@ -730,6 +730,99 @@ let prop_bd_cpar_cpu_not_more_than_bd_all =
       in
       total BD_CPAR <= total BD_ALL +. 1e-6)
 
+(* ------------------------------------------------------------------ *)
+(* Speculation: lending a pool must not change a single byte of any
+   schedule, chosen deadline or λ — the intra-schedule-parallelism
+   determinism pin (see "Intra-schedule speculation" in DESIGN.md). *)
+
+let with_spec jobs f =
+  Mp_prelude.Pool.with_pool ~jobs (fun p -> f (Speculate.create p))
+
+let prop_spec_ressched_equals_seq =
+  QCheck.Test.make ~name:"speculative ressched = sequential (jobs 1,2,4)" ~count:12 arb_seed
+    (fun seed ->
+      let env = busy_env seed in
+      let dag = random_dag ~n:15 (seed + 9000) in
+      let reference = Ressched.schedule env dag in
+      List.for_all
+        (fun jobs -> with_spec jobs (fun spec -> Ressched.schedule ~spec env dag = reference))
+        [ 1; 2; 4 ])
+
+let prop_spec_deadline_equals_seq =
+  QCheck.Test.make ~name:"speculative deadline search = sequential (jobs 1,2,4)" ~count:6
+    arb_seed (fun seed ->
+      let env = busy_env seed in
+      let dag = random_dag ~n:12 (seed + 9500) in
+      List.for_all
+        (fun jobs ->
+          with_spec jobs (fun spec ->
+              List.for_all
+                (fun (a : Algo.deadline) ->
+                  (* same-spec convention: a prepared closure is driven
+                     only by searches given the spec it was prepared
+                     under *)
+                  let seq_tight = Deadline.tightest (a.prepare env dag) env dag in
+                  let spec_tight = Deadline.tightest ~spec (a.prepare ~spec env dag) env dag in
+                  seq_tight = spec_tight
+                  &&
+                  match seq_tight with
+                  | None -> true
+                  | Some (k, _) ->
+                      a.run env dag ~deadline:(2 * k) = a.run ~spec env dag ~deadline:(2 * k))
+                robust_deadline_algos))
+        [ 1; 2; 4 ])
+
+(* With the decision journal on, speculation stands down by itself: the
+   journaled story — a process-global, order-sensitive instrument — must
+   be the sequential one, entry for entry, even when a spec is passed. *)
+let test_spec_journal_stand_down () =
+  let module Journal = Mp_forensics.Journal in
+  let env = busy_env 5 in
+  let dag = random_dag ~n:12 5005 in
+  with_spec 4 (fun spec ->
+      Journal.with_enabled (fun () ->
+          Alcotest.(check bool)
+            "acquire stands down under the journal" true
+            (Speculate.acquire (Some spec) = None));
+      let journaled run =
+        Journal.reset ();
+        let sched = Journal.with_enabled run in
+        let entries = Journal.take () in
+        Journal.reset ();
+        (sched, entries)
+      in
+      let seq_r, seq_entries = journaled (fun () -> Ressched.schedule env dag) in
+      let spec_r, spec_entries = journaled (fun () -> Ressched.schedule ~spec env dag) in
+      Alcotest.(check bool) "journaled ressched identical" true (seq_r = spec_r);
+      Alcotest.(check int)
+        "ressched journal length identical" (List.length seq_entries)
+        (List.length spec_entries);
+      Alcotest.(check bool) "ressched journal identical" true (seq_entries = spec_entries);
+      let a = List.hd robust_deadline_algos in
+      let k = 2 * Schedule.turnaround seq_r in
+      let seq_d, seq_dent = journaled (fun () -> a.run env dag ~deadline:k) in
+      let spec_d, spec_dent = journaled (fun () -> a.run ~spec env dag ~deadline:k) in
+      Alcotest.(check bool) "journaled deadline identical" true (seq_d = spec_d);
+      Alcotest.(check bool) "deadline journal identical" true (seq_dent = spec_dent))
+
+(* The busy flag: a nested acquire while a search holds the pool must
+   refuse, and release must restore it. *)
+let test_spec_busy_flag () =
+  with_spec 4 (fun spec ->
+      match Speculate.acquire (Some spec) with
+      | None -> Alcotest.fail "outermost acquire refused"
+      | Some held ->
+          Alcotest.(check bool) "nested acquire refused" true
+            (Speculate.acquire (Some spec) = None);
+          Speculate.release held;
+          (match Speculate.acquire (Some spec) with
+          | None -> Alcotest.fail "acquire after release refused"
+          | Some again -> Speculate.release again);
+          Alcotest.(check bool) "acquire None" true (Speculate.acquire None = None));
+  (* a sequential pool has nothing to lend *)
+  with_spec 1 (fun spec ->
+      Alcotest.(check bool) "jobs=1 stands down" true (Speculate.acquire (Some spec) = None))
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -742,6 +835,8 @@ let () =
         prop_prepared_equals_direct;
         prop_hetero_valid_on_random_grids;
         prop_bd_cpar_cpu_not_more_than_bd_all;
+        prop_spec_ressched_equals_seq;
+        prop_spec_deadline_equals_seq;
       ]
   in
   Alcotest.run "core"
@@ -818,6 +913,12 @@ let () =
           Alcotest.test_case "no events = frozen" `Quick test_online_no_events_is_ressched;
           Alcotest.test_case "valid with events" `Quick test_online_with_events_valid;
           Alcotest.test_case "interference hurts" `Quick test_online_interference_hurts;
+        ] );
+      ( "speculate",
+        [
+          Alcotest.test_case "journal stands speculation down" `Quick
+            test_spec_journal_stand_down;
+          Alcotest.test_case "busy flag admits one search" `Quick test_spec_busy_flag;
         ] );
       ("properties", props);
     ]

@@ -261,6 +261,36 @@ let test_pool_static_strategy () =
             (List.map f xs) (Pool.map p f xs)))
     [ 1; 3 ]
 
+let test_pool_first_some_basic () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (option (pair int int)))
+        "smallest index wins"
+        (Some (1, 10))
+        (Pool.first_some p
+           [| (fun () -> None); (fun () -> Some 10); (fun () -> Some 20) |]);
+      Alcotest.(check (option (pair int int)))
+        "all None" None
+        (Pool.first_some p (Array.make 5 (fun () -> None)));
+      Alcotest.(check (option (pair int int)))
+        "empty wave" None (Pool.first_some p [||]);
+      Alcotest.(check (option (pair int int)))
+        "index 0" (Some (0, 7))
+        (Pool.first_some p [| (fun () -> Some 7); (fun () -> Some 8) |]))
+
+let test_pool_first_some_exceptions () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (* an exception before the first success propagates, as in the
+         sequential scan... *)
+      Alcotest.check_raises "failure before success" (Failure "boom") (fun () ->
+          ignore
+            (Pool.first_some p [| (fun () -> None); (fun () -> failwith "boom"); (fun () -> Some 1) |]));
+      (* ...but one after it is unobservable: the sequential scan would
+         have stopped at the success *)
+      Alcotest.(check (option (pair int int)))
+        "failure after success is masked"
+        (Some (0, 3))
+        (Pool.first_some p [| (fun () -> Some 3); (fun () -> failwith "late") |]))
+
 let prop_pool_run_is_map =
   QCheck.Test.make ~name:"Pool.run = List.map for any jobs" ~count:50
     QCheck.(pair (int_range 1 8) (small_list small_int))
@@ -295,6 +325,32 @@ let prop_pool_steal_exceptions =
       in
       let outcome run = match run () with v -> Ok v | exception Failure m -> Error m in
       outcome (fun () -> Pool.run ~jobs f items) = outcome (fun () -> List.map f items))
+
+(* first_some against the literal sequential scan it promises to match:
+   same winner, same None, and the same exception when one fires before
+   the first success. *)
+let prop_pool_first_some_matches_scan =
+  (* each cell: (verdict, cost, raise?) *)
+  let cell = QCheck.(triple (option small_int) uneven_cost bool) in
+  QCheck.Test.make ~name:"first_some = sequential scan" ~count:30
+    QCheck.(pair (oneofl [ 1; 2; 4 ]) (small_list cell))
+    (fun (jobs, cells) ->
+      let thunk (verdict, cost, fail) () =
+        ignore (spin cost);
+        if fail then failwith "cell" else verdict
+      in
+      let thunks = Array.of_list (List.map thunk cells) in
+      let sequential () =
+        let n = Array.length thunks in
+        let rec scan i =
+          if i >= n then None
+          else match thunks.(i) () with Some v -> Some (i, v) | None -> scan (i + 1)
+        in
+        scan 0
+      in
+      let outcome run = match run () with v -> Ok v | exception Failure m -> Error m in
+      Pool.with_pool ~jobs (fun p ->
+          outcome (fun () -> Pool.first_some p thunks) = outcome sequential))
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -331,7 +387,7 @@ let prop_rng_int_in_range =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
-      [ prop_percentile_monotone; prop_mean_between_min_max; prop_correlation_bounded; prop_rng_int_in_range; prop_pool_run_is_map; prop_pool_steal_uneven; prop_pool_steal_exceptions ]
+      [ prop_percentile_monotone; prop_mean_between_min_max; prop_correlation_bounded; prop_rng_int_in_range; prop_pool_run_is_map; prop_pool_steal_uneven; prop_pool_steal_exceptions; prop_pool_first_some_matches_scan ]
   in
   Alcotest.run "prelude"
     [
@@ -363,6 +419,8 @@ let () =
           Alcotest.test_case "uniform errors across jobs" `Quick test_pool_uniform_errors;
           Alcotest.test_case "re-entrant map rejected" `Quick test_pool_reentrant_map;
           Alcotest.test_case "static reference strategy" `Quick test_pool_static_strategy;
+          Alcotest.test_case "first_some selection" `Quick test_pool_first_some_basic;
+          Alcotest.test_case "first_some exceptions" `Quick test_pool_first_some_exceptions;
         ] );
       ( "stats",
         [
